@@ -1,0 +1,36 @@
+//! Criterion bench for the threaded graph-allgather runtime (one real
+//! data exchange across simulated devices, Table 6's operation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgcl::{build_comm_info, run_cluster, BuildOptions};
+use dgcl_bench::RunContext;
+use dgcl_graph::Dataset;
+use dgcl_tensor::Matrix;
+use dgcl_topology::Topology;
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut ctx = RunContext::new(false);
+    let mut group = c.benchmark_group("allgather");
+    group.sample_size(10);
+    for dataset in [Dataset::WikiTalk] {
+        let graph = ctx.graph(dataset);
+        for gpus in [4usize, 8] {
+            let topo = Topology::for_gpu_count(gpus);
+            let info = build_comm_info(&graph, topo, BuildOptions::default());
+            let locals: Vec<Matrix> = (0..info.num_devices())
+                .map(|d| Matrix::full(info.pg.local[d].len(), 32, 1.0))
+                .collect();
+            group.bench_with_input(BenchmarkId::new(dataset.name(), gpus), &gpus, |b, _| {
+                b.iter(|| {
+                    run_cluster(&info, |handle| {
+                        handle.graph_allgather(&locals[handle.rank]).rows()
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allgather);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for cost-model evaluation and the incremental delta
+//! query that SPST calls in its inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgcl_plan::CostState;
+use dgcl_topology::Topology;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let topo = Topology::dgx1();
+    let routes: Vec<_> = (0..8)
+        .flat_map(|i| (0..8).filter(move |&j| j != i).map(move |j| (i, j)))
+        .collect();
+    c.bench_function("cost_state_add_56_links", |b| {
+        b.iter(|| {
+            let mut cs = CostState::new(&topo, 7);
+            for (k, &(i, j)) in routes.iter().enumerate() {
+                cs.add(k % 7, topo.route(i, j), 4096);
+            }
+            cs.total_time()
+        })
+    });
+    c.bench_function("cost_state_delta", |b| {
+        let mut cs = CostState::new(&topo, 7);
+        for (k, &(i, j)) in routes.iter().enumerate() {
+            cs.add(k % 7, topo.route(i, j), 4096);
+        }
+        let route = topo.route(0, 7);
+        b.iter(|| cs.delta(3, route, 4096))
+    });
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

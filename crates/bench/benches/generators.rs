@@ -1,0 +1,22 @@
+//! Criterion bench for the synthetic graph generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgcl_graph::generators::{barabasi_albert, erdos_renyi, rmat, RmatConfig};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("rmat", "10k/80k"), &(), |b, ()| {
+        b.iter(|| rmat(10_000, 80_000, RmatConfig::social(), 42))
+    });
+    group.bench_with_input(BenchmarkId::new("ba", "10k/m3"), &(), |b, ()| {
+        b.iter(|| barabasi_albert(10_000, 3, 42))
+    });
+    group.bench_with_input(BenchmarkId::new("er", "10k/80k"), &(), |b, ()| {
+        b.iter(|| erdos_renyi(10_000, 80_000, 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

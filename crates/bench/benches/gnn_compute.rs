@@ -1,0 +1,31 @@
+//! Criterion bench for the numeric GNN layers (forward + backward).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgcl_gnn::{Architecture, Layer};
+use dgcl_graph::generators::barabasi_albert;
+use dgcl_tensor::XavierInit;
+
+fn bench_layers(c: &mut Criterion) {
+    let graph = barabasi_albert(2000, 3, 7);
+    let mut group = c.benchmark_group("gnn_layer");
+    group.sample_size(10);
+    for arch in [Architecture::Gcn, Architecture::CommNet, Architecture::Gin] {
+        let mut init = XavierInit::new(1);
+        let h = init.features(2000, 64);
+        group.bench_with_input(
+            BenchmarkId::new("fwd_bwd", arch.name()),
+            &arch,
+            |b, &arch| {
+                b.iter(|| {
+                    let mut layer = Layer::new(arch, 64, 64, &mut XavierInit::new(2));
+                    let out = layer.forward(&graph, &h, 2000);
+                    layer.backward(&graph, &out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

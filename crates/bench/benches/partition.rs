@@ -1,0 +1,24 @@
+//! Criterion bench for the multilevel partitioner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgcl_bench::RunContext;
+use dgcl_graph::Dataset;
+use dgcl_partition::multilevel::kway;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut ctx = RunContext::new(false);
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for dataset in [Dataset::WebGoogle, Dataset::WikiTalk] {
+        let graph = ctx.graph(dataset);
+        for k in [4usize, 8] {
+            group.bench_with_input(BenchmarkId::new(dataset.name(), k), &k, |b, &k| {
+                b.iter(|| kway(&graph, k, 42))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <id>... [--full] [--seed N]
+//! repro all [--full]
+//! repro --list
+//! ```
+//!
+//! Default runs use scaled-down synthetic datasets (projected back to
+//! full scale, see `dgcl-sim`); `--full` regenerates paper-scale graphs
+//! and is substantially slower.
+
+use dgcl_bench::experiments;
+use dgcl_bench::RunContext;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut full = false;
+    let mut seed: Option<u64> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--seed" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --seed"));
+                seed = Some(v.parse().unwrap_or_else(|_| usage("bad seed")));
+            }
+            "--list" => {
+                for id in experiments::ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage("no experiment given");
+    }
+    let mut ctx = RunContext::new(full);
+    if let Some(s) = seed {
+        ctx.seed = s;
+    }
+    println!(
+        "# DGCL reproduction — {} regime (seed {})",
+        if full {
+            "FULL paper-scale"
+        } else {
+            "scaled-down"
+        },
+        ctx.seed
+    );
+    for id in ids {
+        let t = std::time::Instant::now();
+        if !experiments::run(&id, &mut ctx) {
+            usage(&format!("unknown experiment {id}"));
+        }
+        println!("  [{} took {:.1}s]", id, t.elapsed().as_secs_f64());
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: repro <id>... [--full] [--seed N] | repro all | repro --list");
+    eprintln!("ids: {}", experiments::ALL.join(" "));
+    std::process::exit(2);
+}

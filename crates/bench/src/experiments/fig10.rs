@@ -1,0 +1,88 @@
+//! Figure 10: cost-model estimate versus simulated actual time for one
+//! graphAllgather, communicating random vertex subsets of varying size
+//! (as the paper does).
+//!
+//! Shape: a near-linear relation; the paper reports divergence from a
+//! fitted line below 5% in most cases.
+
+use dgcl_graph::Dataset;
+use dgcl_plan::{spst_plan, CommPlan};
+use dgcl_sim::epoch::partition_for;
+use dgcl_sim::network::simulate_plan;
+use dgcl_topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::harness::{ms, print_table, RunContext};
+
+/// Keeps each step's vertices independently with probability `keep`,
+/// dropping emptied steps — the structural analogue of communicating only
+/// some vertices.
+fn subsample(plan: &CommPlan, keep: f64, seed: u64) -> CommPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut steps = Vec::new();
+    for step in &plan.steps {
+        let vertices: Vec<_> = step
+            .vertices
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(keep))
+            .collect();
+        if !vertices.is_empty() {
+            let mut s = step.clone();
+            s.vertices = vertices;
+            steps.push(s);
+        }
+    }
+    CommPlan {
+        num_gpus: plan.num_gpus,
+        num_stages: plan.num_stages,
+        steps,
+    }
+}
+
+pub fn run(ctx: &mut RunContext) {
+    let topo = Topology::dgx1();
+    for dataset in [Dataset::WebGoogle, Dataset::Reddit] {
+        let graph = ctx.graph(dataset);
+        let pg = partition_for(&graph, &topo, ctx.seed);
+        let bytes = (4.0 * dataset.stats().hidden_size as f64 * ctx.upscale(dataset)) as u64;
+        let outcome = spst_plan(&pg, &topo, bytes, ctx.seed);
+        let mut points = Vec::new();
+        for (i, pct) in [0.2f64, 0.35, 0.5, 0.65, 0.8, 1.0].iter().enumerate() {
+            let plan = subsample(&outcome.plan, *pct, ctx.seed + i as u64);
+            let est = plan.estimated_time(&topo, bytes);
+            let act = simulate_plan(&plan, &topo, bytes).total_seconds;
+            points.push((est, act));
+        }
+        // Least-squares fit act = a * est + b.
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let a = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let b = (sy - a * sx) / n;
+        let mut rows = Vec::new();
+        let mut max_div = 0.0f64;
+        for &(est, act) in &points {
+            let fit = a * est + b;
+            let div = ((act - fit) / fit).abs() * 100.0;
+            max_div = max_div.max(div);
+            rows.push(vec![ms(est), ms(act), format!("{div:.1}%")]);
+        }
+        print_table(
+            &format!(
+                "Figure 10 ({}): estimated cost vs simulated time, 8 GPUs",
+                dataset.name()
+            ),
+            &["Estimate (ms)", "Actual (ms)", "Divergence from fit"],
+            &rows,
+        );
+        println!(
+            "  fit: actual = {a:.3} * estimate + {:.3} ms; max divergence {max_div:.1}%",
+            b * 1e3
+        );
+    }
+    println!("  (paper: linear relation, divergence below 5% in most cases)");
+}

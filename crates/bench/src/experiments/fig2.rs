@@ -1,0 +1,45 @@
+//! Figure 2: computation time, communication overhead and volume for
+//! peer-to-peer training of a 2-layer GCN as the GPU count grows.
+//!
+//! Shape to reproduce: communication time rises with GPU count (despite
+//! falling per-GPU volume) and dominates the epoch — over 50% at 8 GPUs
+//! and over 90% at 16 GPUs, where the shared IB link throttles
+//! everything.
+
+use dgcl_graph::Dataset;
+use dgcl_sim::{simulate_epoch, GnnModel, Method};
+use dgcl_topology::Topology;
+
+use crate::harness::{ms, print_table, RunContext};
+
+pub fn run(ctx: &mut RunContext) {
+    for dataset in [Dataset::WebGoogle, Dataset::Reddit] {
+        let graph = ctx.graph(dataset);
+        let cfg = ctx.epoch_config(dataset, GnnModel::Gcn);
+        let mut rows = Vec::new();
+        for gpus in [2usize, 4, 8, 16] {
+            let topo = Topology::for_gpu_count(gpus);
+            let out = simulate_epoch(Method::PeerToPeer, &graph, &topo, &cfg);
+            let share = out.comm_seconds / out.total_seconds() * 100.0;
+            rows.push(vec![
+                gpus.to_string(),
+                ms(out.comm_seconds),
+                ms(out.compute_seconds),
+                format!("{:.0}", out.avg_comm_volume_bytes as f64 / 1e6),
+                format!("{share:.0}%"),
+            ]);
+        }
+        print_table(
+            &format!("Figure 2 ({}): peer-to-peer GCN, 2 layers", dataset.name()),
+            &[
+                "GPUs",
+                "Comm (ms)",
+                "Compute (ms)",
+                "Volume/GPU (MB)",
+                "Comm share",
+            ],
+            &rows,
+        );
+    }
+    println!("  (paper: comm >50% of epoch at 8 GPUs, >90% at 16 GPUs)");
+}

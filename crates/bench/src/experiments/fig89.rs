@@ -1,0 +1,74 @@
+//! Figures 8 and 9: per-epoch and communication time versus GPU count.
+//!
+//! Figure 8 trains GCN on Reddit, Figure 9 trains GIN on Web-Google, for
+//! 1/2/4/8/16 GPUs. Shapes: DGCL always has the shortest per-epoch time;
+//! DGCL equals Peer-to-peer at <= 4 GPUs (full NVLink clique); Swap is
+//! skipped at 16 GPUs (it is single-machine only, as in the paper); 16
+//! GPUs scale poorly due to the shared IB link.
+
+use dgcl_graph::Dataset;
+use dgcl_sim::{simulate_epoch, GnnModel, Method};
+use dgcl_topology::Topology;
+
+use crate::harness::{ms, print_table, RunContext};
+
+pub fn run_fig8(ctx: &mut RunContext) {
+    sweep(
+        ctx,
+        Dataset::Reddit,
+        GnnModel::Gcn,
+        "Figure 8 (GCN on Reddit)",
+    );
+}
+
+pub fn run_fig9(ctx: &mut RunContext) {
+    sweep(
+        ctx,
+        Dataset::WebGoogle,
+        GnnModel::Gin,
+        "Figure 9 (GIN on Web-Google)",
+    );
+}
+
+fn sweep(ctx: &mut RunContext, dataset: Dataset, model: GnnModel, title: &str) {
+    let graph = ctx.graph(dataset);
+    let cfg = ctx.epoch_config(dataset, model);
+    let methods = [
+        Method::Dgcl,
+        Method::Swap,
+        Method::PeerToPeer,
+        Method::Replication,
+    ];
+    let mut rows = Vec::new();
+    for gpus in [1usize, 2, 4, 8, 16] {
+        let topo = Topology::for_gpu_count(gpus);
+        let mut row = vec![gpus.to_string()];
+        for method in methods {
+            // The paper skips Swap at 16 GPUs (NeuGraph is single-machine).
+            if method == Method::Swap && gpus == 16 {
+                row.push("n/a".into());
+                row.push("-".into());
+                continue;
+            }
+            let out = simulate_epoch(method, &graph, &topo, &cfg);
+            if out.oom {
+                row.push("OOM".into());
+                row.push("-".into());
+            } else {
+                row.push(ms(out.total_seconds()));
+                row.push(ms(out.comm_seconds));
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("{title}: per-epoch / comm (ms)"),
+        &[
+            "GPUs", "DGCL", "(comm)", "Swap", "(comm)", "P2P", "(comm)", "Repl", "(comm)",
+        ],
+        &rows,
+    );
+    println!(
+        "  (paper shapes: DGCL shortest; DGCL == P2P comm at <=4 GPUs; poor 16-GPU\n   scaling due to the shared IB)"
+    );
+}

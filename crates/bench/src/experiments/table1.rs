@@ -1,0 +1,62 @@
+//! Table 1: the speed of common communication links.
+//!
+//! The paper measures these on hardware; the reproduction's topology model
+//! takes them as parameters, so this experiment verifies that a simulated
+//! point-to-point transfer over each connection type attains the
+//! configured bandwidth (i.e. the simulator does not distort uncontended
+//! transfers).
+
+use dgcl_sim::{simulate_flows, Flow};
+use dgcl_topology::{LinkKind, NodeKind, Topology};
+
+use crate::harness::{print_table, RunContext};
+
+pub fn run(_ctx: &mut RunContext) {
+    let kinds = [
+        LinkKind::NvLink2,
+        LinkKind::NvLink1,
+        LinkKind::Pcie,
+        LinkKind::Qpi,
+        LinkKind::Infiniband,
+        LinkKind::Ethernet,
+    ];
+    let mut rows = Vec::new();
+    for kind in kinds {
+        // A two-GPU topology joined by exactly this connection.
+        let mut b = Topology::builder(format!("probe-{}", kind.label()));
+        let g0 = b.add_node(NodeKind::Gpu {
+            rank: 0,
+            machine: 0,
+            socket: 0,
+        });
+        let g1 = b.add_node(NodeKind::Gpu {
+            rank: 1,
+            machine: 0,
+            socket: 0,
+        });
+        b.connect(g0, g1, kind);
+        let topo = b.build();
+        let bytes = 1u64 << 30;
+        let (t, _) = simulate_flows(
+            &topo,
+            &[Flow {
+                route: topo.route(0, 1).clone(),
+                bytes,
+                overhead_seconds: 0.0,
+                tag: 0,
+            }],
+        );
+        let measured = bytes as f64 / t / 1e9;
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{:.2}", kind.bandwidth_gbps()),
+            format!("{measured:.2}"),
+        ]);
+    }
+    print_table(
+        "Table 1: link speed (GB/s) per connection type",
+        &["Type", "Configured (paper)", "Simulated"],
+        &rows,
+    );
+    println!("  (paper: NV2 48.35, NV1 24.22, PCIe 11.13, QPI 9.56, IB 6.37, Ethernet 3.12)");
+}

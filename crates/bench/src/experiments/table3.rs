@@ -1,0 +1,43 @@
+//! Table 3: attainable per-GPU bandwidth when 1/2/3 GPUs share the QPI.
+//!
+//! On the DGX-1, GPU pairs without NVLink route PCIe-QPI-PCIe; running
+//! several such transfers concurrently splits the QPI roughly evenly, as
+//! the paper measures (9.50 / 5.12 / 3.34 GB/s for 1 / 2 / 3 GPUs).
+
+use dgcl_sim::{simulate_flows, Flow};
+use dgcl_topology::Topology;
+
+use crate::harness::{print_table, RunContext};
+
+pub fn run(_ctx: &mut RunContext) {
+    let topo = Topology::dgx1();
+    // Socket-crossing pairs with no NVLink: each GPU on socket 0 talking
+    // to a non-NVLinked GPU on socket 1 goes through the QPI.
+    let pairs = [(1usize, 6usize), (2, 7), (3, 4)];
+    for (a, b) in pairs {
+        assert!(!topo.is_nvlink_pair(a, b), "pair {a}-{b} must cross QPI");
+    }
+    let bytes = 1u64 << 28;
+    let mut rows = Vec::new();
+    for n in 1..=3usize {
+        let flows: Vec<Flow> = pairs[..n]
+            .iter()
+            .enumerate()
+            .map(|(tag, &(s, d))| Flow {
+                route: topo.route(s, d).clone(),
+                bytes,
+                overhead_seconds: 0.0,
+                tag,
+            })
+            .collect();
+        let (t, _) = simulate_flows(&topo, &flows);
+        let per_gpu = bytes as f64 / t / 1e9;
+        rows.push(vec![n.to_string(), format!("{per_gpu:.2}")]);
+    }
+    print_table(
+        "Table 3: attainable bandwidth (GB/s) per GPU sharing the QPI",
+        &["GPUs", "Bandwidth"],
+        &rows,
+    );
+    println!("  (paper: 9.50 / 5.12 / 3.34)");
+}

@@ -1,0 +1,17 @@
+//! Shared harness for the experiment reproduction binary and the
+//! Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation (§7) has a matching
+//! experiment in [`experiments`]; run them with
+//! `cargo run -p dgcl-bench --release --bin repro -- <id> [--full]`.
+//!
+//! Experiments run on scaled-down dataset instances by default (the
+//! planner and simulator are scale-invariant in structure; payloads,
+//! work and memory are projected back to full scale via the `upscale`
+//! factor, see `dgcl-sim`). `--full` regenerates the paper-scale graphs —
+//! slower, same shapes.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::RunContext;

@@ -1,0 +1,191 @@
+//! `buildCommInfo`: partitioning, planning and table compilation.
+
+use dgcl_graph::CsrGraph;
+use dgcl_partition::hierarchical::hierarchical;
+use dgcl_partition::PartitionedGraph;
+use dgcl_plan::plan::validate_plan;
+use dgcl_plan::{spst_plan, CommPlan, SendRecvTables};
+use dgcl_tensor::Matrix;
+use dgcl_topology::Topology;
+
+/// Options for [`build_comm_info`].
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Seed for partitioning and the SPST vertex shuffle.
+    pub seed: u64,
+    /// Embedding payload per vertex in bytes, used by the cost model
+    /// during planning (the resulting plan is invariant to it, §5.1).
+    pub bytes_per_vertex: u64,
+    /// Whether the backward tables are split into sub-stages for
+    /// non-atomic aggregation (§6.2).
+    pub non_atomic: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            bytes_per_vertex: 4 * 256,
+            non_atomic: true,
+        }
+    }
+}
+
+/// Everything DGCL derives from a graph and a topology before training
+/// starts: the partition, the communication relation, the SPST plan and
+/// the per-device execution tables. Built once and reused by every layer
+/// of every epoch.
+#[derive(Debug, Clone)]
+pub struct CommInfo {
+    /// The communication topology.
+    pub topology: Topology,
+    /// Partition, local graphs and communication relation.
+    pub pg: PartitionedGraph,
+    /// The SPST communication plan.
+    pub plan: CommPlan,
+    /// Forward (embedding allgather) tables.
+    pub forward_tables: SendRecvTables,
+    /// Backward (gradient scatter) tables, sub-staged when requested.
+    pub backward_tables: SendRecvTables,
+    /// SPST wall-clock planning time in seconds.
+    pub planning_seconds: f64,
+    /// The cost model's estimate for one allgather in seconds.
+    pub estimated_allgather_seconds: f64,
+}
+
+/// Partitions `graph` across the topology's GPUs (hierarchically when it
+/// spans machines), runs the SPST planner and compiles the execution
+/// tables. This is the paper's `buildCommInfo(graph, topology)`.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or the produced plan fails validation
+/// (which would indicate a planner bug, not a user error).
+pub fn build_comm_info(graph: &CsrGraph, topology: Topology, options: BuildOptions) -> CommInfo {
+    assert!(graph.num_vertices() > 0, "graph must not be empty");
+    let num_gpus = topology.num_gpus();
+    let partition = if num_gpus == 1 {
+        vec![0u32; graph.num_vertices()]
+    } else {
+        let sizes: Vec<usize> = topology.gpus_by_machine().iter().map(|g| g.len()).collect();
+        hierarchical(graph, &sizes, options.seed)
+    };
+    let pg = PartitionedGraph::new(graph, partition, num_gpus);
+    let outcome = spst_plan(&pg, &topology, options.bytes_per_vertex, options.seed);
+    validate_plan(&outcome.plan, &pg).expect("SPST must produce a valid plan");
+    let forward_tables = SendRecvTables::from_plan(&outcome.plan);
+    let backward = forward_tables.reversed();
+    let backward_tables = if options.non_atomic {
+        backward.split_substages()
+    } else {
+        backward
+    };
+    CommInfo {
+        topology,
+        pg,
+        plan: outcome.plan,
+        forward_tables,
+        backward_tables,
+        planning_seconds: outcome.planning_seconds,
+        estimated_allgather_seconds: outcome.cost.total_time(),
+    }
+}
+
+impl CommInfo {
+    /// Number of simulated devices.
+    pub fn num_devices(&self) -> usize {
+        self.pg.num_parts
+    }
+
+    /// Splits a global feature matrix into per-device local feature
+    /// matrices (rows in device-local order). This is the paper's
+    /// `dispatch_features`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has fewer rows than the graph has vertices.
+    pub fn dispatch_features(&self, features: &Matrix) -> Vec<Matrix> {
+        assert_eq!(
+            features.rows(),
+            self.pg.partition.len(),
+            "feature rows must match vertex count"
+        );
+        (0..self.num_devices())
+            .map(|d| {
+                let rows: Vec<usize> = self.pg.local[d].iter().map(|&v| v as usize).collect();
+                features.gather_rows(&rows)
+            })
+            .collect()
+    }
+
+    /// Reassembles per-device row blocks into a global matrix (the
+    /// inverse of [`CommInfo::dispatch_features`] for outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if block shapes do not match the partition.
+    pub fn collect_outputs(&self, per_device: &[Matrix]) -> Matrix {
+        assert_eq!(per_device.len(), self.num_devices(), "device count");
+        let cols = per_device.first().map_or(0, Matrix::cols);
+        let mut out = Matrix::zeros(self.pg.partition.len(), cols);
+        for (d, block) in per_device.iter().enumerate() {
+            assert_eq!(block.rows(), self.pg.local[d].len(), "block rows");
+            for (i, &v) in self.pg.local[d].iter().enumerate() {
+                out.set_row(v as usize, block.row(i));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgcl_graph::Dataset;
+
+    fn info() -> (CsrGraph, CommInfo) {
+        let graph = Dataset::WikiTalk.generate(0.0005, 3);
+        let info = build_comm_info(&graph, Topology::fig6(), BuildOptions::default());
+        (graph, info)
+    }
+
+    #[test]
+    fn builds_valid_plan_and_tables() {
+        let (_, info) = info();
+        assert_eq!(info.num_devices(), 4);
+        assert!(info.estimated_allgather_seconds > 0.0);
+        assert_eq!(info.forward_tables.num_gpus, 4);
+    }
+
+    #[test]
+    fn dispatch_and_collect_round_trip() {
+        let (graph, info) = info();
+        let n = graph.num_vertices();
+        let mut init = dgcl_tensor::XavierInit::new(5);
+        let features = init.features(n, 6);
+        let dispatched = info.dispatch_features(&features);
+        let sizes: usize = dispatched.iter().map(Matrix::rows).sum();
+        assert_eq!(sizes, n);
+        let collected = info.collect_outputs(&dispatched);
+        assert_eq!(collected, features);
+    }
+
+    #[test]
+    fn single_gpu_build_has_empty_plan() {
+        let graph = Dataset::WebGoogle.generate(0.0005, 4);
+        let info = build_comm_info(&graph, Topology::dgx1_subset(1), BuildOptions::default());
+        assert!(info.plan.steps.is_empty());
+        assert_eq!(info.num_devices(), 1);
+    }
+
+    #[test]
+    fn atomic_option_skips_substage_split() {
+        let graph = Dataset::WikiTalk.generate(0.0005, 3);
+        let opts = BuildOptions {
+            non_atomic: false,
+            ..BuildOptions::default()
+        };
+        let info = build_comm_info(&graph, Topology::fig6(), opts);
+        assert_eq!(info.backward_tables.num_substages, 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! The shared-memory communication fabric connecting simulated devices.
+//!
+//! Real DGCL moves bytes over NVLink/PCIe/IB with the decentralized
+//! ready/done flag protocol of §6.1; here devices are threads and a
+//! message is a `Vec<f32>` dropped into a per-(sender, receiver) mailbox.
+//! The flags map onto this as:
+//!
+//! * *ready* — an atomic per-device operation counter; a sender spins
+//!   until the receiver has entered the same collective before posting,
+//!   exactly like waiting for the peer's ready flag before writing into
+//!   its buffer.
+//! * *done* — message availability in the mailbox (posting the payload
+//!   and setting the done flag are one atomic insert here).
+//!
+//! There is no master in the data path: the only shared state is
+//! peer-to-peer mailboxes and the allreduce rendezvous used for model
+//! (not embedding) synchronisation, mirroring the paper's use of
+//! Horovod/DDP for the small model weights.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dgcl_tensor::Matrix;
+use parking_lot::{Condvar, Mutex};
+
+/// Identifies one batched message: `(operation, stage, substage)`.
+pub type MsgKey = (u64, u32, u32);
+
+#[derive(Default)]
+struct Mailbox {
+    slots: Mutex<HashMap<MsgKey, Vec<f32>>>,
+    signal: Condvar,
+}
+
+enum ReducePhase {
+    Filling,
+    Draining,
+}
+
+struct ReduceState {
+    phase: ReducePhase,
+    slots: Vec<Option<Vec<Matrix>>>,
+    filled: usize,
+    departed: usize,
+    result: Option<std::sync::Arc<Vec<Matrix>>>,
+}
+
+/// The fabric shared by all device threads of one cluster run.
+pub struct Fabric {
+    num_devices: usize,
+    /// `mailboxes[src * n + dst]`.
+    mailboxes: Vec<Mailbox>,
+    /// Per-device operation counter (the ready flag).
+    ready: Vec<AtomicU64>,
+    reduce: Mutex<ReduceState>,
+    reduce_signal: Condvar,
+}
+
+impl Fabric {
+    /// Creates a fabric for `num_devices` devices.
+    pub fn new(num_devices: usize) -> Self {
+        Self {
+            num_devices,
+            mailboxes: (0..num_devices * num_devices)
+                .map(|_| Mailbox::default())
+                .collect(),
+            ready: (0..num_devices).map(|_| AtomicU64::new(0)).collect(),
+            reduce: Mutex::new(ReduceState {
+                phase: ReducePhase::Filling,
+                slots: (0..num_devices).map(|_| None).collect(),
+                filled: 0,
+                departed: 0,
+                result: None,
+            }),
+            reduce_signal: Condvar::new(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Marks `device` as having entered operation `op` (its ready flag).
+    pub fn set_ready(&self, device: usize, op: u64) {
+        self.ready[device].fetch_max(op, Ordering::Release);
+    }
+
+    /// Spins until `device`'s ready flag reaches `op`.
+    pub fn wait_ready(&self, device: usize, op: u64) {
+        while self.ready[device].load(Ordering::Acquire) < op {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Posts a payload from `src` to `dst` under `key` (the done flag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same key is posted twice (a protocol bug).
+    pub fn send(&self, src: usize, dst: usize, key: MsgKey, payload: Vec<f32>) {
+        let mb = &self.mailboxes[src * self.num_devices + dst];
+        let mut slots = mb.slots.lock();
+        let prev = slots.insert(key, payload);
+        assert!(
+            prev.is_none(),
+            "duplicate message {key:?} from {src} to {dst}"
+        );
+        mb.signal.notify_all();
+    }
+
+    /// Blocks until the payload for `key` from `src` arrives at `dst`,
+    /// then removes and returns it.
+    pub fn recv(&self, src: usize, dst: usize, key: MsgKey) -> Vec<f32> {
+        let mb = &self.mailboxes[src * self.num_devices + dst];
+        let mut slots = mb.slots.lock();
+        loop {
+            if let Some(payload) = slots.remove(&key) {
+                return payload;
+            }
+            mb.signal.wait(&mut slots);
+        }
+    }
+
+    /// Sums the per-device contributions element-wise (in rank order, so
+    /// every device observes the identical result) and returns the total
+    /// to each caller. All devices must call with equally-shaped inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if contributions disagree in shape.
+    pub fn allreduce(&self, rank: usize, mats: Vec<Matrix>) -> Vec<Matrix> {
+        let mut st = self.reduce.lock();
+        while !matches!(st.phase, ReducePhase::Filling) {
+            self.reduce_signal.wait(&mut st);
+        }
+        st.slots[rank] = Some(mats);
+        st.filled += 1;
+        if st.filled == self.num_devices {
+            let mut acc: Option<Vec<Matrix>> = None;
+            for slot in st.slots.iter_mut() {
+                let mats = slot.take().expect("all slots filled");
+                match &mut acc {
+                    None => acc = Some(mats),
+                    Some(total) => {
+                        assert_eq!(total.len(), mats.len(), "allreduce arity mismatch");
+                        for (t, m) in total.iter_mut().zip(&mats) {
+                            t.add_assign(m);
+                        }
+                    }
+                }
+            }
+            st.result = Some(std::sync::Arc::new(acc.expect("at least one device")));
+            st.phase = ReducePhase::Draining;
+            st.departed = 0;
+            self.reduce_signal.notify_all();
+        } else {
+            while !matches!(st.phase, ReducePhase::Draining) {
+                self.reduce_signal.wait(&mut st);
+            }
+        }
+        let out = (**st.result.as_ref().expect("result present")).clone();
+        st.departed += 1;
+        if st.departed == self.num_devices {
+            st.phase = ReducePhase::Filling;
+            st.filled = 0;
+            st.result = None;
+            self.reduce_signal.notify_all();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_round_trip() {
+        let f = Fabric::new(2);
+        f.send(0, 1, (1, 0, 0), vec![1.0, 2.0]);
+        assert_eq!(f.recv(0, 1, (1, 0, 0)), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let f = std::sync::Arc::new(Fabric::new(2));
+        let f2 = f.clone();
+        let t = std::thread::spawn(move || f2.recv(0, 1, (7, 1, 0)));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        f.send(0, 1, (7, 1, 0), vec![3.5]);
+        assert_eq!(t.join().expect("no panic"), vec![3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate message")]
+    fn duplicate_key_panics() {
+        let f = Fabric::new(2);
+        f.send(0, 1, (1, 0, 0), vec![]);
+        f.send(0, 1, (1, 0, 0), vec![]);
+    }
+
+    #[test]
+    fn ready_flags_are_monotonic() {
+        let f = Fabric::new(1);
+        f.set_ready(0, 5);
+        f.set_ready(0, 3);
+        f.wait_ready(0, 5); // Returns immediately: flag stayed at 5.
+    }
+
+    #[test]
+    fn allreduce_sums_across_threads() {
+        let f = std::sync::Arc::new(Fabric::new(3));
+        let handles: Vec<_> = (0..3)
+            .map(|rank| {
+                let f = f.clone();
+                std::thread::spawn(move || {
+                    let m = Matrix::full(2, 2, (rank + 1) as f32);
+                    f.allreduce(rank, vec![m])
+                })
+            })
+            .collect();
+        for h in handles {
+            let out = h.join().expect("no panic");
+            assert_eq!(out[0], Matrix::full(2, 2, 6.0));
+        }
+    }
+
+    #[test]
+    fn allreduce_is_reusable() {
+        let f = std::sync::Arc::new(Fabric::new(2));
+        for round in 1..4 {
+            let handles: Vec<_> = (0..2)
+                .map(|rank| {
+                    let f = f.clone();
+                    std::thread::spawn(move || {
+                        f.allreduce(rank, vec![Matrix::full(1, 1, round as f32)])
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(
+                    h.join().expect("no panic")[0],
+                    Matrix::full(1, 1, 2.0 * round as f32)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! The per-device runtime: graph allgather, backward scatter and model
+//! allreduce over the shared fabric.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dgcl_graph::VertexId;
+use dgcl_partition::relation::LocalGraph;
+use dgcl_plan::tuples::SendRecvTables;
+use dgcl_tensor::Matrix;
+
+use crate::comm_info::CommInfo;
+use crate::fabric::{Fabric, MsgKey};
+
+/// A device's view of the cluster: its rank, its local graph and the
+/// collective operations of the paper's client API.
+pub struct DeviceHandle<'a> {
+    /// This device's rank.
+    pub rank: usize,
+    info: &'a CommInfo,
+    fabric: Arc<Fabric>,
+    op_counter: Cell<u64>,
+}
+
+/// Per-(stage, substage) execution order of a device's table entries:
+/// sends are posted first, receives drained second, so no cycle of
+/// blocking receives can form within a stage.
+fn stage_keys(tables: &SendRecvTables, rank: usize) -> Vec<(usize, usize)> {
+    let mut keys: Vec<(usize, usize)> = tables.per_device[rank]
+        .iter()
+        .map(|io| (io.stage, io.substage))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+impl<'a> DeviceHandle<'a> {
+    /// The device's re-indexed local graph.
+    pub fn local_graph(&self) -> &'a LocalGraph {
+        self.info.pg.local_graph(self.rank)
+    }
+
+    /// The shared communication metadata.
+    pub fn comm_info(&self) -> &'a CommInfo {
+        self.info
+    }
+
+    fn next_op(&self) -> u64 {
+        let op = self.op_counter.get() + 1;
+        self.op_counter.set(op);
+        op
+    }
+
+    /// The paper's `graph_allgather`: sends the embeddings other devices
+    /// need, receives (and forwards) the embeddings of this device's
+    /// remote vertices, and returns the full visible embedding matrix
+    /// (local rows first, then remote — the local-id layout of
+    /// [`LocalGraph`]).
+    ///
+    /// Blocking and synchronous: returns only when every stage of the
+    /// plan has completed on this device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` does not have exactly `num_local` rows.
+    pub fn graph_allgather(&self, local: &Matrix) -> Matrix {
+        let lg = self.local_graph();
+        assert_eq!(local.rows(), lg.num_local, "expected local rows only");
+        let cols = local.cols();
+        let op = self.next_op();
+        self.fabric.set_ready(self.rank, op);
+        let mut out = Matrix::zeros(lg.num_total(), cols);
+        for r in 0..lg.num_local {
+            out.set_row(r, local.row(r));
+        }
+        // Embeddings this device relays without consuming.
+        let mut relay: HashMap<VertexId, Vec<f32>> = HashMap::new();
+        let tables = &self.info.forward_tables;
+        for (stage, substage) in stage_keys(tables, self.rank) {
+            let key: MsgKey = (op, stage as u32, substage as u32);
+            let ios: Vec<_> = tables.per_device[self.rank]
+                .iter()
+                .filter(|io| io.stage == stage && io.substage == substage)
+                .collect();
+            for io in &ios {
+                if io.send.is_empty() {
+                    continue;
+                }
+                self.fabric.wait_ready(io.peer, op);
+                let mut payload = Vec::with_capacity(io.send.len() * cols);
+                for &v in &io.send {
+                    match lg.local_id(v) {
+                        Some(li) => payload.extend_from_slice(out.row(li)),
+                        None => payload.extend_from_slice(relay.get(&v).unwrap_or_else(|| {
+                            panic!("device {} lacks vertex {v} to forward", self.rank)
+                        })),
+                    }
+                }
+                self.fabric.send(self.rank, io.peer, key, payload);
+            }
+            for io in &ios {
+                if io.recv.is_empty() {
+                    continue;
+                }
+                let payload = self.fabric.recv(io.peer, self.rank, key);
+                assert_eq!(payload.len(), io.recv.len() * cols, "payload size");
+                for (i, &v) in io.recv.iter().enumerate() {
+                    let row = &payload[i * cols..(i + 1) * cols];
+                    match lg.local_id(v) {
+                        Some(li) => out.set_row(li, row),
+                        None => {
+                            relay.insert(v, row.to_vec());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The backward counterpart of [`DeviceHandle::graph_allgather`]:
+    /// takes the gradient with respect to the full visible embedding
+    /// matrix, routes every remote vertex's gradient back along the
+    /// communication tree (accumulating contributions at each hop), and
+    /// returns the gradient for the local rows with all remote
+    /// contributions folded in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_full` does not have `num_total` rows.
+    pub fn scatter_backward(&self, grad_full: &Matrix) -> Matrix {
+        let lg = self.local_graph();
+        assert_eq!(grad_full.rows(), lg.num_total(), "expected full rows");
+        let cols = grad_full.cols();
+        let op = self.next_op();
+        self.fabric.set_ready(self.rank, op);
+        let mut grad_local = grad_full.head_rows(lg.num_local);
+        // Accumulators for non-owned vertices: seeded with this device's
+        // own consumption gradient for its remote vertices; relayed
+        // vertices accumulate from zero.
+        let mut acc: HashMap<VertexId, Vec<f32>> = HashMap::new();
+        for li in lg.num_local..lg.num_total() {
+            acc.insert(lg.global_ids[li], grad_full.row(li).to_vec());
+        }
+        let tables = &self.info.backward_tables;
+        for (stage, substage) in stage_keys(tables, self.rank) {
+            let key: MsgKey = (op, stage as u32, substage as u32);
+            let ios: Vec<_> = tables.per_device[self.rank]
+                .iter()
+                .filter(|io| io.stage == stage && io.substage == substage)
+                .collect();
+            for io in &ios {
+                if io.send.is_empty() {
+                    continue;
+                }
+                self.fabric.wait_ready(io.peer, op);
+                let mut payload = Vec::with_capacity(io.send.len() * cols);
+                for &v in &io.send {
+                    match acc.get(&v) {
+                        Some(row) => payload.extend_from_slice(row),
+                        // A pure relay that received nothing yet
+                        // contributes zeros.
+                        None => payload.extend(std::iter::repeat_n(0.0, cols)),
+                    }
+                }
+                self.fabric.send(self.rank, io.peer, key, payload);
+            }
+            for io in &ios {
+                if io.recv.is_empty() {
+                    continue;
+                }
+                let payload = self.fabric.recv(io.peer, self.rank, key);
+                assert_eq!(payload.len(), io.recv.len() * cols, "payload size");
+                for (i, &v) in io.recv.iter().enumerate() {
+                    let row = &payload[i * cols..(i + 1) * cols];
+                    match lg.local_id(v) {
+                        Some(li) if li < lg.num_local => {
+                            for (g, &x) in grad_local.row_mut(li).iter_mut().zip(row) {
+                                *g += x;
+                            }
+                        }
+                        _ => {
+                            let entry = acc.entry(v).or_insert_with(|| vec![0.0; cols]);
+                            for (g, &x) in entry.iter_mut().zip(row) {
+                                *g += x;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_local
+    }
+
+    /// Element-wise sum of `mats` across all devices (model-gradient
+    /// synchronisation). Every device receives the identical result.
+    pub fn allreduce(&self, mats: Vec<Matrix>) -> Vec<Matrix> {
+        self.fabric.allreduce(self.rank, mats)
+    }
+}
+
+/// Runs `body` once per device on its own thread and returns the results
+/// in rank order.
+///
+/// # Panics
+///
+/// Panics if any device thread panics.
+pub fn run_cluster<R, F>(info: &CommInfo, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(DeviceHandle<'_>) -> R + Sync,
+{
+    let fabric = Arc::new(Fabric::new(info.num_devices()));
+    let mut results: Vec<Option<R>> = (0..info.num_devices()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for rank in 0..info.num_devices() {
+            let fabric = fabric.clone();
+            let body = &body;
+            joins.push(scope.spawn(move |_| {
+                let handle = DeviceHandle {
+                    rank,
+                    info,
+                    fabric,
+                    op_counter: Cell::new(0),
+                };
+                (rank, body(handle))
+            }));
+        }
+        for join in joins {
+            let (rank, r) = join.join().expect("device thread panicked");
+            results[rank] = Some(r);
+        }
+    })
+    .expect("cluster scope");
+    results
+        .into_iter()
+        .map(|r| r.expect("all ranks ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm_info::{build_comm_info, BuildOptions};
+    use dgcl_graph::Dataset;
+    use dgcl_tensor::XavierInit;
+    use dgcl_topology::Topology;
+
+    fn setup() -> (dgcl_graph::CsrGraph, CommInfo) {
+        let graph = Dataset::WikiTalk.generate(0.0006, 5);
+        let info = build_comm_info(&graph, Topology::fig6(), BuildOptions::default());
+        (graph, info)
+    }
+
+    #[test]
+    fn allgather_delivers_every_remote_embedding() {
+        let (graph, info) = setup();
+        let n = graph.num_vertices();
+        // Embedding of vertex v is [v, 2v] so delivery is checkable.
+        let mut features = Matrix::zeros(n, 2);
+        for v in 0..n {
+            features.set_row(v, &[v as f32, 2.0 * v as f32]);
+        }
+        let per_device = info.dispatch_features(&features);
+        let gathered = run_cluster(&info, |handle| {
+            handle.graph_allgather(&per_device[handle.rank])
+        });
+        for (d, full) in gathered.iter().enumerate() {
+            let lg = info.pg.local_graph(d);
+            for (li, &v) in lg.global_ids.iter().enumerate() {
+                assert_eq!(
+                    full.row(li),
+                    &[v as f32, 2.0 * v as f32],
+                    "device {d} row for vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_backward_accumulates_all_consumers() {
+        let (_, info) = setup();
+        // Each device contributes gradient 1.0 for every visible vertex;
+        // the owner must end with 1 + (#remote consumers of v).
+        let grads = run_cluster(&info, |handle| {
+            let lg = handle.local_graph();
+            let grad_full = Matrix::full(lg.num_total(), 1, 1.0);
+            handle.scatter_backward(&grad_full)
+        });
+        for (d, grad) in grads.iter().enumerate() {
+            for (i, &v) in info.pg.local[d].iter().enumerate() {
+                let consumers = (0..info.num_devices())
+                    .filter(|&j| j != d && info.pg.remote[j].binary_search(&v).is_ok())
+                    .count();
+                let expect = 1.0 + consumers as f32;
+                assert_eq!(
+                    grad.row(i)[0],
+                    expect,
+                    "vertex {v} on device {d}: expected {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_then_scatter_is_adjoint() {
+        // <gather(x), y> == <x, scatter(y)> summed across devices — the
+        // defining property that makes distributed backward exact.
+        let (graph, info) = setup();
+        let n = graph.num_vertices();
+        let mut init = XavierInit::new(3);
+        let x = init.features(n, 3);
+        let per_device_x = info.dispatch_features(&x);
+        let results = run_cluster(&info, |handle| {
+            let lg = handle.local_graph();
+            let gathered = handle.graph_allgather(&per_device_x[handle.rank]);
+            // y: deterministic pseudo-gradient over the full visible set.
+            let mut y = Matrix::zeros(lg.num_total(), 3);
+            for (li, &v) in lg.global_ids.iter().enumerate() {
+                for c in 0..3 {
+                    y[(li, c)] = ((v as usize * 31 + c * 7 + handle.rank) % 11) as f32 * 0.1;
+                }
+            }
+            let lhs: f32 = gathered.hadamard(&y).sum();
+            let scattered = handle.scatter_backward(&y);
+            (lhs, scattered)
+        });
+        let lhs_total: f32 = results.iter().map(|(l, _)| *l).sum();
+        let mut rhs_total = 0.0f32;
+        for (d, (_, scattered)) in results.iter().enumerate() {
+            for (i, &v) in info.pg.local[d].iter().enumerate() {
+                for c in 0..3 {
+                    rhs_total += x[(v as usize, c)] * scattered[(i, c)];
+                }
+            }
+        }
+        assert!(
+            (lhs_total - rhs_total).abs() < 1e-2 * lhs_total.abs().max(1.0),
+            "adjoint mismatch: {lhs_total} vs {rhs_total}"
+        );
+    }
+
+    #[test]
+    fn allgather_works_repeatedly() {
+        let (_, info) = setup();
+        let counts = run_cluster(&info, |handle| {
+            let lg = handle.local_graph();
+            let local = Matrix::full(lg.num_local, 1, handle.rank as f32);
+            for _ in 0..3 {
+                let out = handle.graph_allgather(&local);
+                assert_eq!(out.rows(), lg.num_total());
+            }
+            3
+        });
+        assert_eq!(counts, vec![3; info.num_devices()]);
+    }
+
+    #[test]
+    fn straggler_devices_do_not_corrupt_results() {
+        // Failure injection: devices pause for rank-dependent times
+        // between operations. The decentralized flag protocol must
+        // tolerate arbitrary skew — transient stragglers block only
+        // their own peers (§6.1), never correctness.
+        let (graph, info) = setup();
+        let n = graph.num_vertices();
+        let mut features = Matrix::zeros(n, 2);
+        for v in 0..n {
+            features.set_row(v, &[v as f32, -(v as f32)]);
+        }
+        let per_device = info.dispatch_features(&features);
+        let gathered = run_cluster(&info, |handle| {
+            for round in 0..3 {
+                std::thread::sleep(std::time::Duration::from_millis(
+                    (handle.rank as u64 * 7 + round) % 11,
+                ));
+                let out = handle.graph_allgather(&per_device[handle.rank]);
+                std::thread::sleep(std::time::Duration::from_millis(
+                    (11 - handle.rank as u64) % 5,
+                ));
+                let grads = handle.scatter_backward(&out);
+                assert_eq!(grads.rows(), handle.local_graph().num_local);
+            }
+            handle.graph_allgather(&per_device[handle.rank])
+        });
+        for (d, full) in gathered.iter().enumerate() {
+            let lg = info.pg.local_graph(d);
+            for (li, &v) in lg.global_ids.iter().enumerate() {
+                assert_eq!(full.row(li), &[v as f32, -(v as f32)], "device {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_on_16_gpus() {
+        let graph = Dataset::WikiTalk.generate(0.001, 9);
+        let info = build_comm_info(&graph, Topology::dgx1_pair_ib(), BuildOptions::default());
+        let n = graph.num_vertices();
+        let mut features = Matrix::zeros(n, 1);
+        for v in 0..n {
+            features.set_row(v, &[v as f32]);
+        }
+        let per_device = info.dispatch_features(&features);
+        let gathered = run_cluster(&info, |handle| {
+            handle.graph_allgather(&per_device[handle.rank])
+        });
+        for (d, full) in gathered.iter().enumerate() {
+            let lg = info.pg.local_graph(d);
+            for (li, &v) in lg.global_ids.iter().enumerate() {
+                assert_eq!(full.row(li)[0], v as f32, "device {d} vertex {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Distributed full-graph GNN training with single-device parity.
+//!
+//! Integrating DGCL into a GNN system follows the paper's Listing 1: every
+//! layer calls `graph_allgather` to refresh remote embeddings, then runs
+//! the unchanged single-device layer; the backward pass routes remote
+//! gradients back through the reversed plan; model weights are
+//! synchronised with an allreduce (the paper delegates this to
+//! Horovod/DDP as GNN models are small).
+//!
+//! Because all baselines are algorithmically equivalent (§7), the
+//! reproduction's correctness criterion is *numerical parity*: distributed
+//! training must match single-device training up to floating-point
+//! reduction order, which [`train_distributed`] and [`train_single`] let
+//! tests verify directly.
+
+use dgcl_gnn::loss::mse_loss;
+use dgcl_gnn::{Architecture, GnnNetwork};
+use dgcl_graph::CsrGraph;
+use dgcl_tensor::Matrix;
+
+use crate::comm_info::CommInfo;
+use crate::runtime::run_cluster;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// GNN architecture.
+    pub arch: Architecture,
+    /// Layer widths: input first, one entry per layer output after it.
+    pub dims: Vec<usize>,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Seed for weight initialisation (shared by all replicas).
+    pub weight_seed: u64,
+}
+
+impl TrainConfig {
+    /// A config with learning rate `1e-3` and a fixed weight seed.
+    pub fn new(arch: Architecture, dims: &[usize], epochs: usize) -> Self {
+        Self {
+            arch,
+            dims: dims.to_vec(),
+            epochs,
+            lr: 1e-3,
+            weight_seed: 17,
+        }
+    }
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Global loss after each epoch's forward pass.
+    pub epoch_losses: Vec<f32>,
+    /// Final output embeddings in global vertex order.
+    pub outputs: Matrix,
+}
+
+/// Trains on a single device (the reference the distributed run must
+/// match).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn train_single(
+    graph: &CsrGraph,
+    features: &Matrix,
+    targets: &Matrix,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let mut net = GnnNetwork::new(cfg.arch, &cfg.dims, cfg.weight_seed);
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        let out = net.forward(graph, features);
+        let (loss, grad) = mse_loss(&out, targets);
+        losses.push(loss);
+        net.backward(graph, &grad);
+        net.step(cfg.lr);
+    }
+    let outputs = net.forward(graph, features);
+    TrainReport {
+        epoch_losses: losses,
+        outputs,
+    }
+}
+
+/// Trains across the simulated devices of `info`, with graph-allgather
+/// between layers, reversed-plan gradient scatter, and gradient
+/// allreduce before each step.
+///
+/// # Panics
+///
+/// Panics if `features`/`targets` row counts do not match the graph.
+pub fn train_distributed(
+    info: &CommInfo,
+    graph: &CsrGraph,
+    features: &Matrix,
+    targets: &Matrix,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    assert_eq!(features.rows(), graph.num_vertices(), "feature rows");
+    assert_eq!(targets.rows(), graph.num_vertices(), "target rows");
+    let per_device_features = info.dispatch_features(features);
+    let per_device_targets = info.dispatch_features(targets);
+    let results = run_cluster(info, |handle| {
+        let rank = handle.rank;
+        let lg = handle.local_graph();
+        let adj = &lg.graph;
+        let num_local = lg.num_local;
+        let mut net = GnnNetwork::new(cfg.arch, &cfg.dims, cfg.weight_seed);
+        let mut losses = Vec::with_capacity(cfg.epochs);
+        let forward = |net: &mut GnnNetwork, handle: &crate::runtime::DeviceHandle<'_>| -> Matrix {
+            let mut h = per_device_features[rank].clone();
+            for layer in net.layers_mut() {
+                let full = handle.graph_allgather(&h);
+                h = layer.forward(adj, &full, num_local);
+            }
+            h
+        };
+        for _ in 0..cfg.epochs {
+            let out = forward(&mut net, &handle);
+            let (local_loss, grad_out) = mse_loss(&out, &per_device_targets[rank]);
+            // Backward through the layers, scattering remote gradients
+            // back after each layer.
+            let mut grad = grad_out;
+            for layer in net.layers_mut().iter_mut().rev() {
+                let grad_full = layer.backward(adj, &grad);
+                grad = handle.scatter_backward(&grad_full);
+            }
+            // Allreduce: parameter gradients plus the scalar loss.
+            let mut mats: Vec<Matrix> = net
+                .layers()
+                .iter()
+                .flat_map(|l| l.gradients().into_iter().cloned())
+                .collect();
+            mats.push(Matrix::full(1, 1, local_loss));
+            let reduced = handle.allreduce(mats);
+            let (loss_mat, grads) = reduced.split_last().expect("loss entry present");
+            losses.push(loss_mat[(0, 0)]);
+            let mut cursor = 0;
+            for layer in net.layers_mut() {
+                let count = layer.gradients().len();
+                layer.set_gradients(&grads[cursor..cursor + count]);
+                cursor += count;
+            }
+            net.step(cfg.lr);
+        }
+        let out = forward(&mut net, &handle);
+        (losses, out)
+    });
+    let losses = results[0].0.clone();
+    let blocks: Vec<Matrix> = results.into_iter().map(|(_, out)| out).collect();
+    let outputs = info.collect_outputs(&blocks);
+    TrainReport {
+        epoch_losses: losses,
+        outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm_info::{build_comm_info, BuildOptions};
+    use dgcl_graph::Dataset;
+    use dgcl_tensor::XavierInit;
+    use dgcl_topology::Topology;
+
+    fn parity_case(arch: Architecture, topo: Topology, seed: u64) {
+        let graph = Dataset::WikiTalk.generate(0.0005, seed);
+        let n = graph.num_vertices();
+        let info = build_comm_info(&graph, topo, BuildOptions::default());
+        let mut init = XavierInit::new(seed);
+        let features = init.features(n, 6);
+        let targets = init.features(n, 3);
+        let mut cfg = TrainConfig::new(arch, &[6, 5, 3], 3);
+        if arch == Architecture::Gin {
+            // GIN's sum aggregation explodes on hub-heavy graphs with the
+            // default rate; parity only needs stable trajectories.
+            cfg.lr = 1e-6;
+        }
+        let single = train_single(&graph, &features, &targets, &cfg);
+        let dist = train_distributed(&info, &graph, &features, &targets, &cfg);
+        for (e, (a, b)) in single
+            .epoch_losses
+            .iter()
+            .zip(&dist.epoch_losses)
+            .enumerate()
+        {
+            assert!(
+                (a - b).abs() < 1e-2 * a.abs().max(1.0),
+                "{arch:?} epoch {e}: single loss {a} vs distributed {b}"
+            );
+        }
+        let diff = single.outputs.max_abs_diff(&dist.outputs);
+        assert!(
+            diff < 5e-3,
+            "{arch:?}: output divergence {diff} after training"
+        );
+    }
+
+    #[test]
+    fn gcn_parity_on_fig6() {
+        parity_case(Architecture::Gcn, Topology::fig6(), 11);
+    }
+
+    #[test]
+    fn commnet_parity_on_fig6() {
+        parity_case(Architecture::CommNet, Topology::fig6(), 12);
+    }
+
+    #[test]
+    fn gin_parity_on_fig6() {
+        parity_case(Architecture::Gin, Topology::fig6(), 13);
+    }
+
+    #[test]
+    fn gcn_parity_on_dgx1() {
+        parity_case(Architecture::Gcn, Topology::dgx1(), 14);
+    }
+
+    #[test]
+    fn sage_parity_on_fig6() {
+        parity_case(Architecture::Sage, Topology::fig6(), 15);
+    }
+
+    #[test]
+    fn loss_decreases_distributed() {
+        let graph = Dataset::WebGoogle.generate(0.0005, 21);
+        let n = graph.num_vertices();
+        let info = build_comm_info(&graph, Topology::fig6(), BuildOptions::default());
+        let mut init = XavierInit::new(2);
+        let features = init.features(n, 8);
+        let targets = init.features(n, 4);
+        let mut cfg = TrainConfig::new(Architecture::Gcn, &[8, 6, 4], 5);
+        cfg.lr = 5e-4;
+        let report = train_distributed(&info, &graph, &features, &targets, &cfg);
+        assert!(
+            report.epoch_losses.last() < report.epoch_losses.first(),
+            "losses: {:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn atomic_and_non_atomic_backward_agree() {
+        // The sub-stage split must not change numerics, only scheduling.
+        let graph = Dataset::WikiTalk.generate(0.0005, 31);
+        let n = graph.num_vertices();
+        let mut opts = BuildOptions::default();
+        let info_split = build_comm_info(&graph, Topology::fig6(), opts);
+        opts.non_atomic = false;
+        let info_atomic = build_comm_info(&graph, Topology::fig6(), opts);
+        let mut init = XavierInit::new(4);
+        let features = init.features(n, 5);
+        let targets = init.features(n, 2);
+        let cfg = TrainConfig::new(Architecture::Gcn, &[5, 2], 2);
+        let a = train_distributed(&info_split, &graph, &features, &targets, &cfg);
+        let b = train_distributed(&info_atomic, &graph, &features, &targets, &cfg);
+        let diff = a.outputs.max_abs_diff(&b.outputs);
+        assert!(diff < 1e-4, "substage split changed numerics by {diff}");
+    }
+}

@@ -1,0 +1,456 @@
+//! GNN layers with cached forward state and explicit backward passes.
+
+use dgcl_graph::CsrGraph;
+use dgcl_tensor::{Activation, Matrix, XavierInit};
+
+use crate::aggregate::{
+    aggregate_mean, aggregate_mean_backward, aggregate_sum, aggregate_sum_backward,
+};
+
+/// The three architectures evaluated in the paper (§7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// GCN: `h' = relu(mean_agg(h) W + b)`.
+    Gcn,
+    /// CommNet: `h' = tanh(h W_self + mean_agg(h) W_neigh)`.
+    CommNet,
+    /// GIN: `h' = W2 relu(((1 + eps) h + sum_agg(h)) W1 + b1) + b2`.
+    Gin,
+    /// GraphSAGE (mean variant, an extension beyond the paper's three):
+    /// `h' = relu(concat(h, mean_agg(h)) W + b)`.
+    Sage,
+}
+
+impl Architecture {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::Gcn => "GCN",
+            Architecture::CommNet => "CommNet",
+            Architecture::Gin => "GIN",
+            Architecture::Sage => "GraphSAGE",
+        }
+    }
+}
+
+/// One GNN layer of any architecture, holding parameters, parameter
+/// gradients and the forward cache needed for backward.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    arch: Architecture,
+    fin: usize,
+    fout: usize,
+    weights: Vec<Matrix>,
+    biases: Vec<Matrix>,
+    grad_weights: Vec<Matrix>,
+    grad_biases: Vec<Matrix>,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    /// Full visible input (local + remote rows).
+    input: Matrix,
+    /// Aggregated neighbourhood (local rows).
+    agg: Matrix,
+    /// Per-architecture intermediates.
+    mids: Vec<Matrix>,
+    /// Final output (local rows).
+    output: Matrix,
+    num_local: usize,
+}
+
+/// GIN's fixed epsilon (not learned in this reproduction).
+const GIN_EPS: f32 = 0.1;
+
+impl Layer {
+    /// Creates a layer with Xavier-initialised parameters drawn from
+    /// `init`.
+    pub fn new(arch: Architecture, fin: usize, fout: usize, init: &mut XavierInit) -> Self {
+        let (weights, biases): (Vec<Matrix>, Vec<Matrix>) = match arch {
+            Architecture::Gcn => (vec![init.weight(fin, fout)], vec![Matrix::zeros(1, fout)]),
+            Architecture::CommNet => (
+                vec![init.weight(fin, fout), init.weight(fin, fout)],
+                vec![Matrix::zeros(1, fout)],
+            ),
+            Architecture::Gin => (
+                vec![init.weight(fin, fout), init.weight(fout, fout)],
+                vec![Matrix::zeros(1, fout), Matrix::zeros(1, fout)],
+            ),
+            Architecture::Sage => (
+                vec![init.weight(2 * fin, fout)],
+                vec![Matrix::zeros(1, fout)],
+            ),
+        };
+        let grad_weights = weights
+            .iter()
+            .map(|w| Matrix::zeros(w.rows(), w.cols()))
+            .collect();
+        let grad_biases = biases
+            .iter()
+            .map(|b| Matrix::zeros(b.rows(), b.cols()))
+            .collect();
+        Self {
+            arch,
+            fin,
+            fout,
+            weights,
+            biases,
+            grad_weights,
+            grad_biases,
+            cache: None,
+        }
+    }
+
+    /// Input feature width.
+    pub fn fin(&self) -> usize {
+        self.fin
+    }
+
+    /// Output feature width.
+    pub fn fout(&self) -> usize {
+        self.fout
+    }
+
+    /// The architecture of this layer.
+    pub fn arch(&self) -> Architecture {
+        self.arch
+    }
+
+    /// Read-only view of the parameters (weights then biases).
+    pub fn parameters(&self) -> Vec<&Matrix> {
+        self.weights.iter().chain(self.biases.iter()).collect()
+    }
+
+    /// Read-only view of the accumulated parameter gradients.
+    pub fn gradients(&self) -> Vec<&Matrix> {
+        self.grad_weights
+            .iter()
+            .chain(self.grad_biases.iter())
+            .collect()
+    }
+
+    /// Overwrites the accumulated gradients (used by the distributed
+    /// runtime to install allreduced gradients before stepping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes do not match.
+    pub fn set_gradients(&mut self, grads: &[Matrix]) {
+        let n_w = self.grad_weights.len();
+        assert_eq!(grads.len(), n_w + self.grad_biases.len(), "gradient count");
+        for (dst, src) in self
+            .grad_weights
+            .iter_mut()
+            .chain(self.grad_biases.iter_mut())
+            .zip(grads)
+        {
+            assert_eq!(dst.shape(), src.shape(), "gradient shape");
+            *dst = src.clone();
+        }
+    }
+
+    /// Forward pass: consumes the full visible embedding matrix `h`
+    /// (local rows first, then remote) and produces outputs for the first
+    /// `num_local` rows. Caches everything backward needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.cols() != fin` or `num_local > h.rows()`.
+    pub fn forward(&mut self, adj: &CsrGraph, h: &Matrix, num_local: usize) -> Matrix {
+        assert_eq!(h.cols(), self.fin, "input width mismatch");
+        assert!(num_local <= h.rows(), "num_local exceeds input rows");
+        let (agg, mids, output) = match self.arch {
+            Architecture::Gcn => {
+                let agg = aggregate_mean(adj, h, num_local);
+                let z = agg
+                    .matmul(&self.weights[0])
+                    .add_row_broadcast(&self.biases[0]);
+                let out = Activation::Relu.forward(&z);
+                (agg, vec![], out)
+            }
+            Architecture::CommNet => {
+                let agg = aggregate_mean(adj, h, num_local);
+                let h_local = h.head_rows(num_local);
+                let z = h_local
+                    .matmul(&self.weights[0])
+                    .add(&agg.matmul(&self.weights[1]))
+                    .add_row_broadcast(&self.biases[0]);
+                let out = Activation::Tanh.forward(&z);
+                (agg, vec![h_local], out)
+            }
+            Architecture::Gin => {
+                let agg = aggregate_sum(adj, h, num_local);
+                let mut s = h.head_rows(num_local);
+                s.scale_assign(1.0 + GIN_EPS);
+                s.add_assign(&agg);
+                let z1 = s
+                    .matmul(&self.weights[0])
+                    .add_row_broadcast(&self.biases[0]);
+                let r = Activation::Relu.forward(&z1);
+                let out = r
+                    .matmul(&self.weights[1])
+                    .add_row_broadcast(&self.biases[1]);
+                (agg, vec![s, r], out)
+            }
+            Architecture::Sage => {
+                let agg = aggregate_mean(adj, h, num_local);
+                let h_local = h.head_rows(num_local);
+                let s = h_local.hstack(&agg);
+                let z = s
+                    .matmul(&self.weights[0])
+                    .add_row_broadcast(&self.biases[0]);
+                let out = Activation::Relu.forward(&z);
+                (agg, vec![s], out)
+            }
+        };
+        self.cache = Some(Cache {
+            input: h.clone(),
+            agg,
+            mids,
+            output: output.clone(),
+            num_local,
+        });
+        output
+    }
+
+    /// Backward pass: given the gradient of the loss with respect to this
+    /// layer's output (local rows), accumulates parameter gradients and
+    /// returns the gradient with respect to the *full visible input*
+    /// (local + remote rows; remote rows carry the gradients the backward
+    /// allgather must deliver to their owners).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Layer::forward`] or with a mismatched
+    /// gradient shape.
+    pub fn backward(&mut self, adj: &CsrGraph, grad_out: &Matrix) -> Matrix {
+        let cache = self.cache.as_ref().expect("forward before backward");
+        assert_eq!(
+            grad_out.shape(),
+            cache.output.shape(),
+            "output gradient shape mismatch"
+        );
+        let num_total = cache.input.rows();
+        let num_local = cache.num_local;
+        match self.arch {
+            Architecture::Gcn => {
+                let grad_z = Activation::Relu.backward(&cache.output, grad_out);
+                self.grad_weights[0].add_assign(&cache.agg.matmul_tn(&grad_z));
+                self.grad_biases[0].add_assign(&grad_z.sum_rows());
+                let grad_agg = grad_z.matmul_nt(&self.weights[0]);
+                aggregate_mean_backward(adj, &grad_agg, num_total)
+            }
+            Architecture::CommNet => {
+                let grad_z = Activation::Tanh.backward(&cache.output, grad_out);
+                let h_local = &cache.mids[0];
+                self.grad_weights[0].add_assign(&h_local.matmul_tn(&grad_z));
+                self.grad_weights[1].add_assign(&cache.agg.matmul_tn(&grad_z));
+                self.grad_biases[0].add_assign(&grad_z.sum_rows());
+                let grad_agg = grad_z.matmul_nt(&self.weights[1]);
+                let mut grad_h = aggregate_mean_backward(adj, &grad_agg, num_total);
+                let grad_local = grad_z.matmul_nt(&self.weights[0]);
+                for v in 0..num_local {
+                    for (g, &x) in grad_h.row_mut(v).iter_mut().zip(grad_local.row(v)) {
+                        *g += x;
+                    }
+                }
+                grad_h
+            }
+            Architecture::Gin => {
+                let s = &cache.mids[0];
+                let r = &cache.mids[1];
+                // out = r W2 + b2.
+                self.grad_weights[1].add_assign(&r.matmul_tn(grad_out));
+                self.grad_biases[1].add_assign(&grad_out.sum_rows());
+                let grad_r = grad_out.matmul_nt(&self.weights[1]);
+                let grad_z1 = Activation::Relu.backward(r, &grad_r);
+                self.grad_weights[0].add_assign(&s.matmul_tn(&grad_z1));
+                self.grad_biases[0].add_assign(&grad_z1.sum_rows());
+                let grad_s = grad_z1.matmul_nt(&self.weights[0]);
+                let mut grad_h = aggregate_sum_backward(adj, &grad_s, num_total);
+                for v in 0..num_local {
+                    for (g, &x) in grad_h.row_mut(v).iter_mut().zip(grad_s.row(v)) {
+                        *g += x * (1.0 + GIN_EPS);
+                    }
+                }
+                grad_h
+            }
+            Architecture::Sage => {
+                let s = &cache.mids[0];
+                let grad_z = Activation::Relu.backward(&cache.output, grad_out);
+                self.grad_weights[0].add_assign(&s.matmul_tn(&grad_z));
+                self.grad_biases[0].add_assign(&grad_z.sum_rows());
+                let grad_s = grad_z.matmul_nt(&self.weights[0]);
+                let (grad_local, grad_agg) = grad_s.split_cols(self.fin);
+                let mut grad_h = aggregate_mean_backward(adj, &grad_agg, num_total);
+                for v in 0..num_local {
+                    for (g, &x) in grad_h.row_mut(v).iter_mut().zip(grad_local.row(v)) {
+                        *g += x;
+                    }
+                }
+                grad_h
+            }
+        }
+    }
+
+    /// SGD step: `p -= lr * grad`, then clears the gradients.
+    pub fn step(&mut self, lr: f32) {
+        for (w, g) in self.weights.iter_mut().chain(self.biases.iter_mut()).zip(
+            self.grad_weights
+                .iter_mut()
+                .chain(self.grad_biases.iter_mut()),
+        ) {
+            w.axpy(-lr, g);
+            g.scale_assign(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgcl_graph::GraphBuilder;
+
+    fn ring(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n as u32 {
+            b.add_edge(v, ((v + 1) as usize % n) as u32);
+        }
+        b.build_symmetric()
+    }
+
+    fn finite_difference_check(arch: Architecture) {
+        // Numerical gradient check on a small ring graph.
+        let g = ring(5);
+        let mut init = XavierInit::new(3);
+        let mut layer = Layer::new(arch, 4, 3, &mut init);
+        let h = init.features(5, 4);
+        let out = layer.forward(&g, &h, 5);
+        // Loss = 0.5 * ||out||^2, so grad_out = out.
+        let grad_h = layer.backward(&g, &out.clone());
+        let eps = 1e-2f32;
+        // Probe a few input coordinates.
+        for &(r, c) in &[(0usize, 0usize), (2, 1), (4, 3)] {
+            let mut hp = h.clone();
+            hp[(r, c)] += eps;
+            let mut lp = Layer::new(arch, 4, 3, &mut XavierInit::new(3));
+            let op = lp.forward(&g, &hp, 5);
+            let mut hm = h.clone();
+            hm[(r, c)] -= eps;
+            let mut lm = Layer::new(arch, 4, 3, &mut XavierInit::new(3));
+            let om = lm.forward(&g, &hm, 5);
+            let fd = (om.norm_sq() * 0.5 - op.norm_sq() * 0.5) / (-2.0 * eps);
+            let analytic = grad_h[(r, c)];
+            assert!(
+                (fd - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+                "{arch:?} grad mismatch at ({r},{c}): fd {fd} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gcn_gradients_match_finite_differences() {
+        finite_difference_check(Architecture::Gcn);
+    }
+
+    #[test]
+    fn commnet_gradients_match_finite_differences() {
+        finite_difference_check(Architecture::CommNet);
+    }
+
+    #[test]
+    fn gin_gradients_match_finite_differences() {
+        finite_difference_check(Architecture::Gin);
+    }
+
+    #[test]
+    fn sage_gradients_match_finite_differences() {
+        finite_difference_check(Architecture::Sage);
+    }
+
+    #[test]
+    fn sage_weight_shape_covers_concat() {
+        let mut init = XavierInit::new(9);
+        let layer = Layer::new(Architecture::Sage, 5, 3, &mut init);
+        assert_eq!(layer.parameters()[0].shape(), (10, 3));
+    }
+
+    #[test]
+    fn forward_only_outputs_local_rows() {
+        let g = ring(6);
+        let mut init = XavierInit::new(1);
+        let mut layer = Layer::new(Architecture::Gcn, 2, 2, &mut init);
+        let h = init.features(6, 2);
+        let out = layer.forward(&g, &h, 4);
+        assert_eq!(out.rows(), 4);
+    }
+
+    #[test]
+    fn backward_produces_full_width_gradient() {
+        let g = ring(6);
+        let mut init = XavierInit::new(2);
+        let mut layer = Layer::new(Architecture::Gin, 2, 2, &mut init);
+        let h = init.features(6, 2);
+        let out = layer.forward(&g, &h, 4);
+        let grad = layer.backward(&g, &out);
+        assert_eq!(grad.rows(), 6);
+        assert!(grad.all_finite());
+    }
+
+    #[test]
+    fn step_moves_parameters_and_clears_gradients() {
+        let g = ring(4);
+        let mut init = XavierInit::new(5);
+        let mut layer = Layer::new(Architecture::Gcn, 3, 3, &mut init);
+        let h = init.features(4, 3);
+        let out = layer.forward(&g, &h, 4);
+        layer.backward(&g, &out);
+        let before = layer.parameters()[0].clone();
+        layer.step(0.1);
+        assert_ne!(*layer.parameters()[0], before);
+        assert!(layer.gradients().iter().all(|g| g.norm_sq() == 0.0));
+    }
+
+    #[test]
+    fn gradient_additivity_across_row_splits() {
+        // The parameter gradient of the whole graph equals the sum over a
+        // row split — the property distributed data-parallel training
+        // relies on.
+        let g = ring(6);
+        let mut init = XavierInit::new(7);
+        let h = init.features(6, 3);
+        let make = || Layer::new(Architecture::Gcn, 3, 2, &mut XavierInit::new(7));
+
+        let mut full = make();
+        let out = full.forward(&g, &h, 6);
+        full.backward(&g, &out);
+        let full_grad = full.gradients()[0].clone();
+
+        // Split: rows 0..3 and 3..6 computed by two replicas. Loss is a
+        // per-vertex sum, so grad_out rows match the full run's rows.
+        let mut a = make();
+        let out_a = a.forward(&g, &h, 6);
+        let mut grad_a = out_a.clone();
+        for v in 3..6 {
+            for x in grad_a.row_mut(v) {
+                *x = 0.0;
+            }
+        }
+        a.backward(&g, &grad_a);
+        let mut bl = make();
+        let out_b = bl.forward(&g, &h, 6);
+        let mut grad_b = out_b.clone();
+        for v in 0..3 {
+            for x in grad_b.row_mut(v) {
+                *x = 0.0;
+            }
+        }
+        bl.backward(&g, &grad_b);
+        let sum = a.gradients()[0].add(bl.gradients()[0]);
+        assert!(
+            full_grad.max_abs_diff(&sum) < 1e-4,
+            "split gradients do not add up"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Loss functions for training.
+
+use dgcl_tensor::Matrix;
+
+/// Sum-of-squares regression loss `0.5 * Σ (pred - target)^2`.
+///
+/// Returns `(loss, gradient)`. A *sum* (not mean) keeps per-vertex losses
+/// additive across devices, which the distributed parity checks rely on.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_loss(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    let diff = pred.sub(target);
+    let loss = 0.5 * diff.norm_sq();
+    (loss, diff)
+}
+
+/// Softmax cross-entropy for node classification: `labels[v]` is the
+/// class index of vertex `v`.
+///
+/// Returns `(summed loss, gradient w.r.t. the logits)`. The sum (rather
+/// than mean) keeps per-vertex losses additive across devices.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "one label per row");
+    let classes = logits.cols();
+    let mut grad = Matrix::zeros(logits.rows(), classes);
+    let mut loss = 0.0f32;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range 0..{classes}");
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exp: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let denom: f32 = exp.iter().sum();
+        loss += denom.ln() + max - row[label];
+        let g = grad.row_mut(r);
+        for (c, e) in exp.iter().enumerate() {
+            g[c] = e / denom - f32::from(c == label);
+        }
+    }
+    (loss, grad)
+}
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()`.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(labels.len(), logits.rows(), "one label per row");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let predictions = logits.argmax_rows();
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    hits as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_loss_at_target() {
+        let t = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let (l, g) = mse_loss(&t, &t);
+        assert_eq!(l, 0.0);
+        assert_eq!(g, Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn loss_and_gradient_values() {
+        let p = Matrix::from_rows(&[&[3.0]]);
+        let t = Matrix::from_rows(&[&[1.0]]);
+        let (l, g) = mse_loss(&p, &t);
+        assert_eq!(l, 2.0);
+        assert_eq!(g.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn loss_is_additive_over_rows() {
+        let p = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let t = Matrix::from_rows(&[&[0.0], &[0.0]]);
+        let (l, _) = mse_loss(&p, &t);
+        let (l0, _) = mse_loss(&p.head_rows(1), &t.head_rows(1));
+        let p1 = Matrix::from_rows(&[&[2.0]]);
+        let t1 = Matrix::from_rows(&[&[0.0]]);
+        let (l1, _) = mse_loss(&p1, &t1);
+        assert!((l - (l0 + l1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_prediction_is_small() {
+        let logits = Matrix::from_rows(&[&[10.0, 0.0, 0.0]]);
+        let (l, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(l < 1e-3, "loss {l}");
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        let logits = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.0, 1.0, 1.0]]);
+        let (_, g) = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = g.row(r).iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} gradient sum {s}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.1]]);
+        let (_, g) = softmax_cross_entropy(&logits, &[1]);
+        let eps = 1e-3;
+        for c in 0..3 {
+            let mut lp = logits.clone();
+            lp[(0, c)] += eps;
+            let mut lm = logits.clone();
+            lm[(0, c)] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &[1]);
+            let (fm, _) = softmax_cross_entropy(&lm, &[1]);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - g[(0, c)]).abs() < 1e-3,
+                "class {c}: {fd} vs {}",
+                g[(0, c)]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0], &[2.0, 0.0]]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_logits() {
+        let logits = Matrix::from_rows(&[&[1000.0, -1000.0]]);
+        let (l, g) = softmax_cross_entropy(&logits, &[0]);
+        assert!(l.is_finite());
+        assert!(g.all_finite());
+    }
+}

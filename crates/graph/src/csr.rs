@@ -1,0 +1,203 @@
+//! Compressed-sparse-row graph storage.
+
+use crate::VertexId;
+
+/// A directed graph in compressed-sparse-row form.
+///
+/// `offsets` has `n + 1` entries; the out-neighbours of vertex `v` are
+/// `targets[offsets[v]..offsets[v + 1]]`, sorted ascending with no
+/// duplicates and no self-loops (the builder enforces this). GNN training
+/// in this reproduction always uses symmetric graphs, but the type itself
+/// supports arbitrary directed graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Constructs a graph directly from CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent: `offsets` must be non-empty,
+    /// monotonically non-decreasing, start at 0 and end at `targets.len()`,
+    /// and every target must be a valid vertex id.
+    pub fn from_parts(offsets: Vec<usize>, targets: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty"),
+            targets.len(),
+            "offsets must end at targets.len()"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        let n = offsets.len() - 1;
+        assert!(
+            targets.iter().all(|&t| (t as usize) < n),
+            "target out of range"
+        );
+        Self { offsets, targets }
+    }
+
+    /// A graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Out-neighbours of vertex `v`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Iterates over all directed edges as `(src, dst)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&u| (v, u)))
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Whether edge `(u, v)` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Builds the transpose (all edges reversed).
+    pub fn reverse(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut in_degree = vec![0usize; n];
+        for &t in &self.targets {
+            in_degree[t as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &in_degree {
+            offsets.push(offsets.last().expect("non-empty") + d);
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        for v in 0..n as VertexId {
+            for &u in self.neighbors(v) {
+                targets[cursor[u as usize]] = v;
+                cursor[u as usize] += 1;
+            }
+        }
+        // Per-row targets come out sorted because source vertices are
+        // visited in ascending order.
+        CsrGraph { offsets, targets }
+    }
+
+    /// Whether the graph equals its own transpose (undirected storage).
+    pub fn is_symmetric(&self) -> bool {
+        *self == self.reverse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> CsrGraph {
+        // 0 -> 1 -> 2
+        CsrGraph::from_parts(vec![0, 1, 2, 2], vec![1, 2])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = chain3();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(2), 0);
+        assert_eq!(g.neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn edges_iterates_all_pairs() {
+        let g = chain3();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn reverse_flips_edges() {
+        let g = chain3();
+        let r = g.reverse();
+        assert_eq!(r.neighbors(1), &[0]);
+        assert_eq!(r.neighbors(2), &[1]);
+        assert_eq!(r.out_degree(0), 0);
+    }
+
+    #[test]
+    fn reverse_twice_is_identity() {
+        let g = chain3();
+        assert_eq!(g.reverse().reverse(), g);
+    }
+
+    #[test]
+    fn has_edge_uses_binary_search() {
+        let g = chain3();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        assert!(!chain3().is_symmetric());
+        let sym = CsrGraph::from_parts(vec![0, 1, 2], vec![1, 0]);
+        assert!(sym.is_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn from_parts_rejects_bad_target() {
+        let _ = CsrGraph::from_parts(vec![0, 1], vec![5]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(4);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Calibrated synthetic stand-ins for the paper's evaluation datasets.
+//!
+//! Table 4 of the paper lists four graphs. The real datasets are not
+//! shipped with this reproduction; instead each is generated with a model
+//! whose output matches the published statistics. The shape of every
+//! experiment depends on size, density and skew — all preserved here:
+//!
+//! | Dataset    | Vertices | Edges | Avg. deg | Feature | Hidden | Generator |
+//! |------------|----------|-------|----------|---------|--------|-----------|
+//! | Reddit     | 0.23M    | 110M  | 478      | 602     | 256    | community R-MAT (dense, diagonal skew) |
+//! | Com-Orkut  | 3.07M    | 117M  | 38.1     | 128     | 128    | community R-MAT (diagonal skew) |
+//! | Web-Google | 0.87M    | 5.1M  | 5.86     | 256     | 256    | community R-MAT (strong locality) |
+//! | Wiki-Talk  | 2.39M    | 5.0M  | 2.09     | 256     | 256    | hub attachment (extreme hubs) |
+//!
+//! Experiments run on scaled-down instances by default (`scale < 1.0`)
+//! because the planner and simulator behave identically at reduced size;
+//! `scale = 1.0` reproduces paper-scale statistics.
+
+use crate::generators::{community_rmat, hub_attachment, RmatConfig};
+use crate::CsrGraph;
+
+/// The four evaluation graphs of the paper (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Post-to-post graph; small and very dense.
+    Reddit,
+    /// Social network; large and dense.
+    ComOrkut,
+    /// Web graph; small and sparse.
+    WebGoogle,
+    /// Communication graph; large, sparse, extremely skewed.
+    WikiTalk,
+}
+
+/// Published statistics and model configuration for a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Vertex count at full scale.
+    pub vertices: usize,
+    /// Directed edge count at full scale.
+    pub edges: usize,
+    /// Average degree reported in the paper.
+    pub avg_degree: f64,
+    /// Input feature dimension (0-th layer embedding width).
+    pub feature_size: usize,
+    /// Hidden embedding dimension.
+    pub hidden_size: usize,
+}
+
+impl Dataset {
+    /// All four datasets in the paper's column order.
+    pub fn all() -> [Dataset; 4] {
+        [
+            Dataset::Reddit,
+            Dataset::ComOrkut,
+            Dataset::WebGoogle,
+            Dataset::WikiTalk,
+        ]
+    }
+
+    /// Human-readable name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Reddit => "Reddit",
+            Dataset::ComOrkut => "Com-Orkut",
+            Dataset::WebGoogle => "Web-Google",
+            Dataset::WikiTalk => "Wiki-Talk",
+        }
+    }
+
+    /// Full-scale statistics from Table 4.
+    pub fn stats(self) -> DatasetStats {
+        match self {
+            Dataset::Reddit => DatasetStats {
+                vertices: 230_000,
+                edges: 110_000_000,
+                avg_degree: 478.0,
+                feature_size: 602,
+                hidden_size: 256,
+            },
+            Dataset::ComOrkut => DatasetStats {
+                vertices: 3_070_000,
+                edges: 117_000_000,
+                avg_degree: 38.1,
+                feature_size: 128,
+                hidden_size: 128,
+            },
+            Dataset::WebGoogle => DatasetStats {
+                vertices: 870_000,
+                edges: 5_100_000,
+                avg_degree: 5.86,
+                feature_size: 256,
+                hidden_size: 256,
+            },
+            Dataset::WikiTalk => DatasetStats {
+                vertices: 2_390_000,
+                edges: 5_000_000,
+                avg_degree: 2.09,
+                feature_size: 256,
+                hidden_size: 256,
+            },
+        }
+    }
+
+    /// Whether the paper classifies the graph as dense.
+    pub fn is_dense(self) -> bool {
+        matches!(self, Dataset::Reddit | Dataset::ComOrkut)
+    }
+
+    /// Generates the synthetic stand-in at `scale` (fraction of full size).
+    ///
+    /// The vertex count scales linearly; the edge count scales so that the
+    /// average degree stays at the published value. The result is symmetric
+    /// (undirected storage) as required by GNN aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn generate(self, scale: f64, seed: u64) -> CsrGraph {
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0, 1], got {scale}"
+        );
+        let stats = self.stats();
+        let n = ((stats.vertices as f64 * scale) as usize).max(64);
+        // `edges` in Table 4 counts directed edges; generators take the
+        // number of undirected samples, and symmetric storage doubles them.
+        let undirected = ((stats.avg_degree * n as f64) / 2.0) as usize;
+        match self {
+            // Social graphs: skewed degrees plus planted communities so
+            // that partitioners find the cuts METIS finds on the real
+            // data.
+            // The block count adapts to the instance size so a block
+            // always has room for the target intra-community density (a
+            // fixed 128 blocks would saturate and dedup away Reddit's
+            // 478 average degree at small scales).
+            Dataset::Reddit | Dataset::ComOrkut => community_rmat(
+                n,
+                undirected.max(n),
+                (n / 600).clamp(8, 128),
+                0.9,
+                0.3,
+                RmatConfig::diagonal(),
+                seed,
+            ),
+            // Web graph: power-law degrees but strong link locality —
+            // real web graphs cut cheaply, unlike expander-like BA.
+            Dataset::WebGoogle => community_rmat(
+                n,
+                undirected.max(n),
+                (n / 200).clamp(8, 128),
+                0.85,
+                0.15,
+                RmatConfig::diagonal(),
+                seed,
+            ),
+            // Communication graph: extreme hubs make the 2-hop closure
+            // cover most of the graph (replication OOMs on it, Fig. 7).
+            Dataset::WikiTalk => hub_attachment(n, (n / 200).max(4), 0.8, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_table4() {
+        assert_eq!(Dataset::Reddit.stats().feature_size, 602);
+        assert_eq!(Dataset::ComOrkut.stats().hidden_size, 128);
+        assert_eq!(Dataset::WebGoogle.stats().vertices, 870_000);
+        assert_eq!(Dataset::WikiTalk.stats().edges, 5_000_000);
+    }
+
+    #[test]
+    fn generated_graphs_have_expected_density_order() {
+        // Density needs enough room per community block; use the scale
+        // the bench harness uses for Reddit.
+        let reddit = Dataset::Reddit.generate(0.02, 1);
+        let google = Dataset::WebGoogle.generate(0.02, 1);
+        let wiki = Dataset::WikiTalk.generate(0.02, 1);
+        assert!(
+            reddit.avg_degree() > 10.0 * google.avg_degree(),
+            "reddit {} vs google {}",
+            reddit.avg_degree(),
+            google.avg_degree()
+        );
+        assert!(google.avg_degree() > wiki.avg_degree());
+    }
+
+    #[test]
+    fn wiki_talk_is_sparse_and_skewed() {
+        let g = Dataset::WikiTalk.generate(0.002, 2);
+        assert!(g.avg_degree() < 4.0);
+        let n = g.num_vertices();
+        let max_deg = (0..n as u32).map(|v| g.out_degree(v)).max().unwrap_or(0);
+        assert!(max_deg as f64 > 10.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = Dataset::WebGoogle.generate(0.001, 3);
+        let large = Dataset::WebGoogle.generate(0.002, 3);
+        assert!(large.num_vertices() > small.num_vertices());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn rejects_zero_scale() {
+        let _ = Dataset::Reddit.generate(0.0, 0);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = Dataset::all().iter().map(|d| d.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Reddit", "Com-Orkut", "Web-Google", "Wiki-Talk"]
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Barabási–Albert preferential-attachment generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Generates a symmetric Barabási–Albert graph.
+///
+/// Each new vertex attaches to `edges_per_vertex` existing vertices with
+/// probability proportional to their degree, which yields the power-law
+/// degree distribution typical of web and communication graphs
+/// (Web-Google, Wiki-Talk in the paper).
+///
+/// # Panics
+///
+/// Panics if `num_vertices < 2` or `edges_per_vertex == 0`.
+pub fn barabasi_albert(num_vertices: usize, edges_per_vertex: usize, seed: u64) -> CsrGraph {
+    assert!(num_vertices >= 2, "need at least two vertices");
+    assert!(edges_per_vertex >= 1, "need at least one edge per vertex");
+    let m = edges_per_vertex;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(num_vertices, num_vertices * m);
+    // `endpoints` holds one entry per edge endpoint; sampling uniformly from
+    // it implements preferential attachment.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * num_vertices * m);
+    let seed_size = (m + 1).min(num_vertices);
+    for v in 1..seed_size {
+        builder.add_edge(v as VertexId, (v - 1) as VertexId);
+        endpoints.push(v as VertexId);
+        endpoints.push((v - 1) as VertexId);
+    }
+    for v in seed_size..num_vertices {
+        let v = v as VertexId;
+        let mut chosen = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 32 * m {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            builder.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    builder.build_symmetric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_degree_close_to_2m() {
+        let g = barabasi_albert(5000, 3, 11);
+        let avg = g.avg_degree();
+        assert!(
+            (avg - 6.0).abs() < 0.5,
+            "expected avg degree near 6, got {avg}"
+        );
+    }
+
+    #[test]
+    fn graph_is_connected_enough() {
+        // Every vertex past the seed attaches to existing vertices, so no
+        // isolated vertices should exist.
+        let g = barabasi_albert(1000, 2, 5);
+        assert!((0..1000).all(|v| g.out_degree(v) > 0));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(barabasi_albert(400, 2, 9), barabasi_albert(400, 2, 9));
+    }
+
+    #[test]
+    fn hub_emerges() {
+        let g = barabasi_albert(3000, 2, 21);
+        let max_deg = (0..3000).map(|v| g.out_degree(v)).max().unwrap_or(0);
+        assert!(max_deg > 30, "expected a hub, max degree {max_deg}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Erdős–Rényi G(n, m) generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Generates a symmetric Erdős–Rényi graph with `num_vertices` vertices and
+/// approximately `num_edges` undirected edges sampled uniformly.
+///
+/// # Panics
+///
+/// Panics if `num_vertices < 2`.
+pub fn erdos_renyi(num_vertices: usize, num_edges: usize, seed: u64) -> CsrGraph {
+    assert!(num_vertices >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(num_vertices, num_edges);
+    for _ in 0..num_edges {
+        let s = rng.gen_range(0..num_vertices) as VertexId;
+        let d = rng.gen_range(0..num_vertices) as VertexId;
+        if s != d {
+            builder.add_edge(s, d);
+        }
+    }
+    builder.build_symmetric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_distribution_is_flat() {
+        let g = erdos_renyi(2000, 20000, 17);
+        let max_deg = (0..2000).map(|v| g.out_degree(v)).max().unwrap_or(0);
+        let avg = g.avg_degree();
+        // A uniform graph has no heavy hubs.
+        assert!(
+            (max_deg as f64) < 3.0 * avg,
+            "unexpected hub: max {max_deg}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(erdos_renyi(100, 400, 2), erdos_renyi(100, 400, 2));
+    }
+
+    #[test]
+    fn symmetric_output() {
+        assert!(erdos_renyi(50, 200, 4).is_symmetric());
+    }
+}

@@ -1,0 +1,107 @@
+//! Hub-attachment generator for communication-style graphs (Wiki-Talk).
+//!
+//! Wiki-Talk's defining property is a small set of extremely popular talk
+//! pages that a large share of users have touched: the average degree is
+//! only ~2, yet the 2-hop neighbourhood of any sizeable vertex sample
+//! covers most of the graph (which is why replication OOMs on it in the
+//! paper's Figure 7). A plain preferential-attachment tree has the right
+//! average degree but far too shallow hubs; this generator attaches most
+//! vertices directly to a Zipf-weighted hub set instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Generates a symmetric hub-attachment graph.
+///
+/// Vertices `0..num_hubs` are hubs. Every other vertex draws one edge:
+/// with probability `hub_prob` to a hub chosen with Zipf weights (rank
+/// `r` has weight `1 / r`), otherwise to a uniformly random earlier
+/// vertex (keeping the graph connected). The expected average degree is
+/// 2 (each vertex contributes one undirected edge), matching Wiki-Talk's
+/// 2.09.
+///
+/// # Panics
+///
+/// Panics if `num_hubs == 0`, `num_hubs >= num_vertices` or `hub_prob`
+/// is outside `[0, 1]`.
+pub fn hub_attachment(num_vertices: usize, num_hubs: usize, hub_prob: f64, seed: u64) -> CsrGraph {
+    assert!(num_hubs > 0, "need at least one hub");
+    assert!(num_hubs < num_vertices, "hubs must be a strict subset");
+    assert!((0.0..=1.0).contains(&hub_prob), "hub_prob must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(num_vertices, num_vertices);
+    // Cumulative Zipf weights over hub ranks.
+    let mut cumulative = Vec::with_capacity(num_hubs);
+    let mut total = 0.0f64;
+    for r in 1..=num_hubs {
+        total += 1.0 / r as f64;
+        cumulative.push(total);
+    }
+    // Chain the hubs so they form one component even without attachments.
+    for h in 1..num_hubs {
+        builder.add_edge(h as VertexId, (h - 1) as VertexId);
+    }
+    for v in num_hubs..num_vertices {
+        let target = if rng.gen_bool(hub_prob) {
+            let x = rng.gen_range(0.0..total);
+            let idx = cumulative.partition_point(|&c| c < x);
+            idx.min(num_hubs - 1) as VertexId
+        } else {
+            rng.gen_range(0..v) as VertexId
+        };
+        builder.add_edge(v as VertexId, target);
+    }
+    builder.build_symmetric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::khop::k_hop_closure;
+
+    #[test]
+    fn average_degree_is_about_two() {
+        let g = hub_attachment(10_000, 50, 0.8, 3);
+        let avg = g.avg_degree();
+        assert!((avg - 2.0).abs() < 0.1, "avg degree {avg}");
+    }
+
+    #[test]
+    fn top_hub_is_extreme() {
+        let g = hub_attachment(10_000, 50, 0.8, 5);
+        let top = (0..50).map(|h| g.out_degree(h)).max().unwrap_or(0);
+        assert!(top > 500, "top hub degree {top}");
+    }
+
+    #[test]
+    fn two_hop_closure_covers_most_of_the_graph() {
+        // The property that makes replication OOM on Wiki-Talk: from any
+        // modest vertex sample, two hops reach the hub set and through it
+        // most of the graph.
+        let n = 10_000;
+        let g = hub_attachment(n, 50, 0.8, 7);
+        let sample: Vec<u32> = (0..n as u32).filter(|v| v % 8 == 3).collect();
+        let closure = k_hop_closure(&g, &sample, 2);
+        let covered = closure.iter().filter(|&&m| m).count();
+        assert!(
+            covered as f64 > 0.6 * n as f64,
+            "2-hop closure covers only {covered}/{n}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            hub_attachment(1000, 20, 0.7, 9),
+            hub_attachment(1000, 20, 0.7, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strict subset")]
+    fn rejects_all_hub_graph() {
+        let _ = hub_attachment(10, 10, 0.5, 0);
+    }
+}

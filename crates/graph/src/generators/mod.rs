@@ -1,0 +1,19 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on four real graphs (Reddit, Com-Orkut, Web-Google,
+//! Wiki-Talk). Those datasets are not redistributable here, so the
+//! reproduction substitutes generators whose output matches each graph's
+//! published statistics: vertex count, edge count, average degree and degree
+//! skew. See `datasets` for the calibrated configurations.
+
+mod ba;
+mod community;
+mod er;
+mod hub;
+mod rmat;
+
+pub use ba::barabasi_albert;
+pub use community::community_rmat;
+pub use er::erdos_renyi;
+pub use hub::hub_attachment;
+pub use rmat::{rmat, RmatConfig};

@@ -1,0 +1,146 @@
+//! K-hop neighbourhood expansion.
+//!
+//! Training a K-layer GNN for a vertex set requires the embeddings of the
+//! set's K-hop neighbourhood (§2 of the paper). Replication-based
+//! distributed training stores that whole neighbourhood per device, and the
+//! *replication factor* — total stored vertices across devices divided by
+//! the graph's vertex count — measures its cost (Figure 4).
+
+use crate::{CsrGraph, VertexId};
+
+/// Returns the set of vertices within `hops` of `seeds` (including the
+/// seeds themselves), as a boolean membership mask.
+///
+/// # Panics
+///
+/// Panics if any seed is out of range.
+pub fn k_hop_closure(graph: &CsrGraph, seeds: &[VertexId], hops: usize) -> Vec<bool> {
+    let n = graph.num_vertices();
+    let mut member = vec![false; n];
+    let mut frontier: Vec<VertexId> = Vec::new();
+    for &s in seeds {
+        assert!((s as usize) < n, "seed {s} out of range for {n} vertices");
+        if !member[s as usize] {
+            member[s as usize] = true;
+            frontier.push(s);
+        }
+    }
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in graph.neighbors(v) {
+                if !member[u as usize] {
+                    member[u as usize] = true;
+                    next.push(u);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    member
+}
+
+/// Computes the replication factor for a partitioned graph and a K-layer
+/// GNN: the total number of (assigned plus replicated) vertices kept by all
+/// devices, divided by the vertex count.
+///
+/// `partition[v]` is the device owning vertex `v`; `num_parts` is the
+/// device count.
+///
+/// # Panics
+///
+/// Panics if `partition.len() != graph.num_vertices()` or any part id is
+/// `>= num_parts`.
+pub fn replication_factor(
+    graph: &CsrGraph,
+    partition: &[u32],
+    num_parts: usize,
+    hops: usize,
+) -> f64 {
+    assert_eq!(
+        partition.len(),
+        graph.num_vertices(),
+        "partition length must match vertex count"
+    );
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut seeds: Vec<Vec<VertexId>> = vec![Vec::new(); num_parts];
+    for (v, &p) in partition.iter().enumerate() {
+        assert!((p as usize) < num_parts, "part id {p} out of range");
+        seeds[p as usize].push(v as VertexId);
+    }
+    let mut total_stored = 0usize;
+    for part_seeds in &seeds {
+        let member = k_hop_closure(graph, part_seeds, hops);
+        total_stored += member.iter().filter(|&&m| m).count();
+    }
+    total_stored as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path5() -> CsrGraph {
+        // 0 - 1 - 2 - 3 - 4 (undirected path).
+        let mut b = GraphBuilder::new(5);
+        for v in 0..4 {
+            b.add_edge(v, v + 1);
+        }
+        b.build_symmetric()
+    }
+
+    #[test]
+    fn zero_hops_is_just_seeds() {
+        let g = path5();
+        let m = k_hop_closure(&g, &[2], 0);
+        assert_eq!(m, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn one_hop_adds_neighbors() {
+        let g = path5();
+        let m = k_hop_closure(&g, &[2], 1);
+        assert_eq!(m, vec![false, true, true, true, false]);
+    }
+
+    #[test]
+    fn closure_saturates() {
+        let g = path5();
+        let m = k_hop_closure(&g, &[2], 10);
+        assert!(m.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn replication_factor_one_when_no_cut() {
+        let g = path5();
+        // All vertices in one part: nothing replicated.
+        let f = replication_factor(&g, &[0, 0, 0, 0, 0], 1, 2);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_factor_grows_with_hops() {
+        let g = path5();
+        let partition = [0, 0, 0, 1, 1];
+        let f1 = replication_factor(&g, &partition, 2, 1);
+        let f2 = replication_factor(&g, &partition, 2, 2);
+        assert!(f2 >= f1);
+        assert!(f1 > 1.0);
+    }
+
+    #[test]
+    fn replication_factor_exact_on_path() {
+        let g = path5();
+        let partition = [0, 0, 0, 1, 1];
+        // 1-hop: part 0 stores {0,1,2} + {3}; part 1 stores {3,4} + {2}.
+        let f = replication_factor(&g, &partition, 2, 1);
+        assert!((f - 7.0 / 5.0).abs() < 1e-12);
+    }
+}

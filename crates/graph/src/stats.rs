@@ -1,0 +1,88 @@
+//! Degree statistics for generated graphs.
+
+use crate::CsrGraph;
+
+/// Summary of a graph's degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Median out-degree.
+    pub median: usize,
+    /// Fraction of vertices with degree greater than `4 * mean`
+    /// (a crude hub-share indicator of skew).
+    pub hub_share: f64,
+}
+
+/// Computes [`DegreeStats`] for a graph.
+pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+            hub_share: 0.0,
+        };
+    }
+    let mut degrees: Vec<usize> = (0..n as u32).map(|v| graph.out_degree(v)).collect();
+    degrees.sort_unstable();
+    let mean = graph.avg_degree();
+    let hub_threshold = 4.0 * mean;
+    let hubs = degrees
+        .iter()
+        .filter(|&&d| d as f64 > hub_threshold)
+        .count();
+    DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean,
+        median: degrees[n / 2],
+        hub_share: hubs as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn star_graph_stats() {
+        // Star: centre 0 connected to 1..=4.
+        let mut b = GraphBuilder::new(5);
+        for v in 1..5 {
+            b.add_edge(0, v);
+        }
+        let g = b.build_symmetric();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = CsrGraph::empty(0);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn hub_share_detects_star_centre() {
+        let mut b = GraphBuilder::new(20);
+        for v in 1..20 {
+            b.add_edge(0, v);
+        }
+        let g = b.build_symmetric();
+        let s = degree_stats(&g);
+        assert!(s.hub_share > 0.0);
+        assert!(s.hub_share < 0.2);
+    }
+}

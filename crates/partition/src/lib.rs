@@ -1,0 +1,42 @@
+//! Graph partitioning for distributed GNN training.
+//!
+//! DGCL partitions the input graph into one part per GPU, minimising the
+//! number of cross-partition edges (which become communication) while
+//! keeping parts balanced. The original system calls METIS; this crate
+//! implements the same multilevel k-way scheme from scratch
+//! ([`multilevel::kway`]): heavy-edge-matching coarsening, greedy-growing
+//! initial partitioning and boundary FM refinement.
+//!
+//! Hierarchical partitioning ([`hierarchical::hierarchical`]) first splits
+//! across machines and then within each machine, prioritising communication
+//! reduction on slow inter-machine links (§4.1 of the paper).
+//!
+//! [`relation::PartitionedGraph`] derives everything DGCL needs from a
+//! partition: per-GPU local/remote vertex sets, the re-indexed local graphs
+//! handed to the single-GPU GNN engine, and the communication relation
+//! `(d_i, d_j, V_ij)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dgcl_graph::Dataset;
+//! use dgcl_partition::multilevel::kway;
+//! use dgcl_partition::metrics::{edge_cut, balance};
+//!
+//! let g = Dataset::WebGoogle.generate(0.002, 1);
+//! let parts = kway(&g, 4, 42);
+//! assert!(balance(&parts, 4) < 1.1);
+//! assert!(edge_cut(&g, &parts) < g.num_edges() / 2);
+//! ```
+
+pub mod hierarchical;
+pub mod metrics;
+pub mod multilevel;
+pub mod relation;
+pub mod simple;
+
+pub use relation::PartitionedGraph;
+
+/// A partition assignment: `partition[v]` is the part (GPU rank) of vertex
+/// `v`.
+pub type Partition = Vec<u32>;

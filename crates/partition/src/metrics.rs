@@ -1,0 +1,102 @@
+//! Partition quality metrics.
+
+use dgcl_graph::CsrGraph;
+
+/// Number of directed edges whose endpoints lie in different parts.
+///
+/// For symmetric graphs this counts each undirected cut edge twice, which
+/// matches the communication interpretation: both directions carry an
+/// embedding.
+///
+/// # Panics
+///
+/// Panics if `partition.len() != graph.num_vertices()`.
+pub fn edge_cut(graph: &CsrGraph, partition: &[u32]) -> usize {
+    assert_eq!(
+        partition.len(),
+        graph.num_vertices(),
+        "partition length mismatch"
+    );
+    graph
+        .edges()
+        .filter(|&(s, d)| partition[s as usize] != partition[d as usize])
+        .count()
+}
+
+/// Balance factor: largest part size divided by the ideal (average) size.
+///
+/// A perfectly balanced partition scores 1.0.
+///
+/// # Panics
+///
+/// Panics if `num_parts == 0` or a part id is out of range.
+pub fn balance(partition: &[u32], num_parts: usize) -> f64 {
+    assert!(num_parts > 0, "need at least one part");
+    if partition.is_empty() {
+        return 1.0;
+    }
+    let sizes = part_sizes(partition, num_parts);
+    let max = *sizes.iter().max().expect("non-empty") as f64;
+    let ideal = partition.len() as f64 / num_parts as f64;
+    max / ideal
+}
+
+/// Vertex count of every part.
+///
+/// # Panics
+///
+/// Panics if a part id is `>= num_parts`.
+pub fn part_sizes(partition: &[u32], num_parts: usize) -> Vec<usize> {
+    let mut sizes = vec![0usize; num_parts];
+    for &p in partition {
+        assert!((p as usize) < num_parts, "part id {p} out of range");
+        sizes[p as usize] += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgcl_graph::GraphBuilder;
+
+    fn square() -> CsrGraph {
+        // 0-1, 1-2, 2-3, 3-0 cycle.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(3, 0);
+        b.build_symmetric()
+    }
+
+    #[test]
+    fn cut_of_uniform_partition_is_zero() {
+        let g = square();
+        assert_eq!(edge_cut(&g, &[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn cut_counts_directed_edges() {
+        let g = square();
+        // Parts {0,1} and {2,3}: undirected cut edges 1-2 and 3-0, so 4
+        // directed edges.
+        assert_eq!(edge_cut(&g, &[0, 0, 1, 1]), 4);
+    }
+
+    #[test]
+    fn balance_of_even_split_is_one() {
+        assert!((balance(&[0, 0, 1, 1], 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_of_skewed_split() {
+        // Three vertices in part 0, one in part 1: 3 / 2 = 1.5.
+        assert!((balance(&[0, 0, 0, 1], 2) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn part_sizes_counts() {
+        assert_eq!(part_sizes(&[0, 2, 2, 1], 3), vec![1, 1, 2]);
+    }
+}

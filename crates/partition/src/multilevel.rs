@@ -1,0 +1,486 @@
+//! Multilevel k-way partitioner (METIS-style).
+//!
+//! Three phases, as in Karypis & Kumar's multilevel scheme the paper's
+//! METIS dependency implements:
+//!
+//! 1. **Coarsening** — repeated heavy-edge matching collapses the graph
+//!    until it is small.
+//! 2. **Initial partitioning** — greedy region growing on the coarsest
+//!    graph.
+//! 3. **Uncoarsening** — the partition is projected back level by level,
+//!    with boundary FM refinement and explicit rebalancing at each level.
+
+use dgcl_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::Partition;
+
+/// Default allowed imbalance: largest part at most 5% above ideal.
+pub const DEFAULT_IMBALANCE: f64 = 1.05;
+
+/// Vertex- and edge-weighted graph used internally across coarsening
+/// levels.
+struct WeightedGraph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    eweights: Vec<u64>,
+    vweights: Vec<u64>,
+}
+
+impl WeightedGraph {
+    fn from_csr(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut targets = Vec::with_capacity(g.num_edges());
+        for v in 0..n as u32 {
+            targets.extend_from_slice(g.neighbors(v));
+            offsets.push(targets.len());
+        }
+        let eweights = vec![1u64; targets.len()];
+        let vweights = vec![1u64; n];
+        Self {
+            offsets,
+            targets,
+            eweights,
+            vweights,
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.vweights.len()
+    }
+
+    fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let v = v as usize;
+        self.targets[self.offsets[v]..self.offsets[v + 1]]
+            .iter()
+            .zip(&self.eweights[self.offsets[v]..self.offsets[v + 1]])
+            .map(|(&t, &w)| (t, w))
+    }
+
+    fn total_vweight(&self) -> u64 {
+        self.vweights.iter().sum()
+    }
+}
+
+/// Partitions `graph` into `k` balanced parts minimising the edge cut.
+///
+/// Uses [`DEFAULT_IMBALANCE`]; see [`kway_with_imbalance`] for control.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > graph.num_vertices()` (for non-empty
+/// graphs).
+pub fn kway(graph: &CsrGraph, k: usize, seed: u64) -> Partition {
+    kway_with_imbalance(graph, k, seed, DEFAULT_IMBALANCE)
+}
+
+/// Partitions `graph` into `k` parts with an explicit balance bound:
+/// every part's vertex count stays at or below `imbalance * n / k`
+/// (up to rounding).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `imbalance < 1.0`, or `k > graph.num_vertices()`
+/// for a non-empty graph.
+pub fn kway_with_imbalance(graph: &CsrGraph, k: usize, seed: u64, imbalance: f64) -> Partition {
+    assert!(k > 0, "need at least one part");
+    assert!(imbalance >= 1.0, "imbalance bound must be >= 1.0");
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(k <= n, "cannot split {n} vertices into {k} parts");
+    if k == 1 {
+        return vec![0; n];
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = WeightedGraph::from_csr(graph);
+
+    // Phase 1: coarsen. Cap coarse vertex weights so hubs cannot swallow
+    // whole parts (which would make balanced refinement impossible).
+    let coarse_target = (30 * k).max(128);
+    let max_vertex_weight = ((n as f64 / k as f64) * 0.6).ceil().max(2.0) as u64;
+    let mut levels: Vec<WeightedGraph> = vec![base];
+    let mut maps: Vec<Vec<u32>> = Vec::new();
+    loop {
+        let current = levels.last().expect("at least the base level");
+        if current.num_vertices() <= coarse_target {
+            break;
+        }
+        let (coarse, map) = coarsen(current, &mut rng, max_vertex_weight);
+        // Stop when matching no longer shrinks the graph meaningfully.
+        if coarse.num_vertices() as f64 > 0.95 * current.num_vertices() as f64 {
+            break;
+        }
+        levels.push(coarse);
+        maps.push(map);
+    }
+
+    // Phase 2: initial partition on the coarsest level.
+    let coarsest = levels.last().expect("non-empty");
+    let max_weight = max_part_weight(coarsest.total_vweight(), k, imbalance);
+    let mut partition = grow_initial(coarsest, k, &mut rng);
+    rebalance(coarsest, &mut partition, k, max_weight);
+    refine(coarsest, &mut partition, k, max_weight, 8);
+
+    // Phase 3: project back up, refining at each level.
+    for level in (0..maps.len()).rev() {
+        let fine = &levels[level];
+        let map = &maps[level];
+        let mut fine_partition = vec![0u32; fine.num_vertices()];
+        for (v, p) in fine_partition.iter_mut().enumerate() {
+            *p = partition[map[v] as usize];
+        }
+        partition = fine_partition;
+        let max_weight = max_part_weight(fine.total_vweight(), k, imbalance);
+        rebalance(fine, &mut partition, k, max_weight);
+        refine(fine, &mut partition, k, max_weight, 4);
+    }
+    partition
+}
+
+fn max_part_weight(total: u64, k: usize, imbalance: f64) -> u64 {
+    let ideal = total as f64 / k as f64;
+    (ideal * imbalance).ceil() as u64 + 1
+}
+
+/// Heavy-edge matching: collapse matched pairs into coarse vertices.
+/// Pairs whose combined weight would exceed `max_vertex_weight` are not
+/// matched.
+fn coarsen(
+    g: &WeightedGraph,
+    rng: &mut StdRng,
+    max_vertex_weight: u64,
+) -> (WeightedGraph, Vec<u32>) {
+    let n = g.num_vertices();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    const UNMATCHED: u32 = u32::MAX;
+    let mut map = vec![UNMATCHED; n];
+    let mut next_coarse = 0u32;
+    for &v in &order {
+        if map[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u32, u64)> = None;
+        for (u, w) in g.neighbors(v) {
+            if map[u as usize] == UNMATCHED
+                && u != v
+                && g.vweights[v as usize] + g.vweights[u as usize] <= max_vertex_weight
+            {
+                match best {
+                    Some((_, bw)) if bw >= w => {}
+                    _ => best = Some((u, w)),
+                }
+            }
+        }
+        map[v as usize] = next_coarse;
+        if let Some((u, _)) = best {
+            map[u as usize] = next_coarse;
+        }
+        next_coarse += 1;
+    }
+    let cn = next_coarse as usize;
+    let mut vweights = vec![0u64; cn];
+    for v in 0..n {
+        vweights[map[v] as usize] += g.vweights[v];
+    }
+    // Aggregate coarse edges through a sort.
+    let mut triples: Vec<(u32, u32, u64)> = Vec::with_capacity(g.targets.len());
+    for v in 0..n as u32 {
+        let cv = map[v as usize];
+        for (u, w) in g.neighbors(v) {
+            let cu = map[u as usize];
+            if cu != cv {
+                triples.push((cv, cu, w));
+            }
+        }
+    }
+    triples.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    let mut offsets = Vec::with_capacity(cn + 1);
+    let mut targets = Vec::new();
+    let mut eweights = Vec::new();
+    offsets.push(0);
+    let mut cursor = 0usize;
+    for cv in 0..cn as u32 {
+        while cursor < triples.len() && triples[cursor].0 == cv {
+            let (_, cu, mut w) = triples[cursor];
+            cursor += 1;
+            while cursor < triples.len() && triples[cursor].0 == cv && triples[cursor].1 == cu {
+                w += triples[cursor].2;
+                cursor += 1;
+            }
+            targets.push(cu);
+            eweights.push(w);
+        }
+        offsets.push(targets.len());
+    }
+    (
+        WeightedGraph {
+            offsets,
+            targets,
+            eweights,
+            vweights,
+        },
+        map,
+    )
+}
+
+/// Greedy region growing for the initial k-way partition.
+fn grow_initial(g: &WeightedGraph, k: usize, rng: &mut StdRng) -> Partition {
+    let n = g.num_vertices();
+    const FREE: u32 = u32::MAX;
+    let mut partition = vec![FREE; n];
+    let total = g.total_vweight();
+    let target = total / k as u64;
+    let mut remaining: Vec<u32> = (0..n as u32).collect();
+    for p in 0..(k - 1) as u32 {
+        remaining.retain(|&v| partition[v as usize] == FREE);
+        if remaining.is_empty() {
+            break;
+        }
+        let seed_vertex = remaining[rng.gen_range(0..remaining.len())];
+        let mut weight = 0u64;
+        let mut frontier: Vec<u32> = vec![seed_vertex];
+        partition[seed_vertex as usize] = p;
+        weight += g.vweights[seed_vertex as usize];
+        while weight < target {
+            // Pick the frontier neighbour with the strongest connection to
+            // the region; fall back to any free vertex to guarantee
+            // progress in disconnected graphs.
+            let mut best: Option<(u32, u64)> = None;
+            for &v in &frontier {
+                for (u, w) in g.neighbors(v) {
+                    if partition[u as usize] == FREE {
+                        match best {
+                            Some((_, bw)) if bw >= w => {}
+                            _ => best = Some((u, w)),
+                        }
+                    }
+                }
+            }
+            let chosen = match best {
+                Some((u, _)) => u,
+                None => match remaining.iter().find(|&&v| partition[v as usize] == FREE) {
+                    Some(&u) => u,
+                    None => break,
+                },
+            };
+            partition[chosen as usize] = p;
+            weight += g.vweights[chosen as usize];
+            frontier.push(chosen);
+            if frontier.len() > 64 {
+                // Keep the frontier bounded: old interior vertices rarely
+                // have free neighbours left.
+                frontier.drain(0..32);
+            }
+        }
+    }
+    for p in &mut partition {
+        if *p == FREE {
+            *p = (k - 1) as u32;
+        }
+    }
+    partition
+}
+
+/// Moves vertices out of overweight parts until the bound holds, or no
+/// move can make progress (possible when one coarse vertex alone exceeds
+/// the bound — later, finer levels fix it).
+fn rebalance(g: &WeightedGraph, partition: &mut [u32], k: usize, max_weight: u64) {
+    let mut weights = vec![0u64; k];
+    for (v, &p) in partition.iter().enumerate() {
+        weights[p as usize] += g.vweights[v];
+    }
+    let mut budget = 4 * g.num_vertices() + 16;
+    loop {
+        if budget == 0 {
+            return;
+        }
+        budget -= 1;
+        let Some(over) = (0..k).find(|&p| weights[p] > max_weight) else {
+            return;
+        };
+        // Move the overweight part's lightest-penalty vertex into the
+        // lightest part — but only if that strictly improves the pair's
+        // maximum, otherwise the move would ping-pong forever.
+        let lightest = (0..k).min_by_key(|&p| weights[p]).expect("k > 0");
+        if lightest == over {
+            return;
+        }
+        let mut best: Option<(u32, i64)> = None;
+        for (v, &p) in partition.iter().enumerate() {
+            if p as usize != over {
+                continue;
+            }
+            if weights[lightest] + g.vweights[v] >= weights[over] {
+                continue;
+            }
+            let mut internal = 0i64;
+            let mut to_light = 0i64;
+            for (u, w) in g.neighbors(v as u32) {
+                if partition[u as usize] as usize == over {
+                    internal += w as i64;
+                } else if partition[u as usize] as usize == lightest {
+                    to_light += w as i64;
+                }
+            }
+            let gain = to_light - internal;
+            match best {
+                Some((_, bg)) if bg >= gain => {}
+                _ => best = Some((v as u32, gain)),
+            }
+        }
+        let Some((v, _)) = best else { return };
+        partition[v as usize] = lightest as u32;
+        weights[over] -= g.vweights[v as usize];
+        weights[lightest] += g.vweights[v as usize];
+    }
+}
+
+/// Boundary FM refinement: greedily move boundary vertices to the part
+/// they are most connected to, subject to the weight bound.
+fn refine(g: &WeightedGraph, partition: &mut [u32], k: usize, max_weight: u64, passes: usize) {
+    let n = g.num_vertices();
+    let mut weights = vec![0u64; k];
+    for (v, &p) in partition.iter().enumerate() {
+        weights[p as usize] += g.vweights[v];
+    }
+    let mut conn = vec![0i64; k];
+    for _ in 0..passes {
+        let mut moved = 0usize;
+        for v in 0..n as u32 {
+            let current = partition[v as usize] as usize;
+            conn.iter_mut().for_each(|c| *c = 0);
+            let mut boundary = false;
+            for (u, w) in g.neighbors(v) {
+                let up = partition[u as usize] as usize;
+                conn[up] += w as i64;
+                if up != current {
+                    boundary = true;
+                }
+            }
+            if !boundary {
+                continue;
+            }
+            let vw = g.vweights[v as usize];
+            let mut best = current;
+            let mut best_gain = 0i64;
+            for p in 0..k {
+                if p == current || weights[p] + vw > max_weight {
+                    continue;
+                }
+                let gain = conn[p] - conn[current];
+                let better = gain > best_gain
+                    || (gain == best_gain && best == current && weights[p] + vw < weights[current]);
+                if better {
+                    best = p;
+                    best_gain = gain;
+                }
+            }
+            if best != current {
+                partition[v as usize] = best as u32;
+                weights[current] -= vw;
+                weights[best] += vw;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{balance, edge_cut};
+    use crate::simple::random_partition;
+    use dgcl_graph::generators::{barabasi_albert, erdos_renyi};
+    use dgcl_graph::GraphBuilder;
+
+    #[test]
+    fn two_cliques_split_cleanly() {
+        // Two 4-cliques joined by one edge: the optimal 2-way cut is 2
+        // directed edges.
+        let mut b = GraphBuilder::new(8);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.add_edge(i, j);
+                b.add_edge(i + 4, j + 4);
+            }
+        }
+        b.add_edge(0, 4);
+        let g = b.build_symmetric();
+        let p = kway(&g, 2, 1);
+        assert_eq!(edge_cut(&g, &p), 2);
+        assert!((balance(&p, 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_balance_bound() {
+        let g = barabasi_albert(3000, 3, 7);
+        for k in [2, 4, 8] {
+            let p = kway(&g, k, 11);
+            assert!(
+                balance(&p, k) <= DEFAULT_IMBALANCE + 0.02,
+                "k={k} balance {}",
+                balance(&p, k)
+            );
+        }
+    }
+
+    #[test]
+    fn beats_random_partitioning() {
+        // Barabási–Albert graphs are expanders, so even METIS cannot cut
+        // them cheaply; still, multilevel partitioning should clearly beat
+        // a random assignment.
+        let g = barabasi_albert(2000, 3, 3);
+        let smart = edge_cut(&g, &kway(&g, 4, 5));
+        let random = edge_cut(&g, &random_partition(&g, 4, 5));
+        assert!(
+            (smart as f64) < 0.65 * random as f64,
+            "cut {smart} not clearly below random {random}"
+        );
+    }
+
+    #[test]
+    fn single_part_is_all_zero() {
+        let g = erdos_renyi(100, 300, 2);
+        assert!(kway(&g, 1, 0).iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = erdos_renyi(500, 2000, 9);
+        assert_eq!(kway(&g, 4, 42), kway(&g, 4, 42));
+    }
+
+    #[test]
+    fn every_part_is_used() {
+        let g = erdos_renyi(400, 1600, 8);
+        let p = kway(&g, 8, 2);
+        let mut seen = [false; 8];
+        for &x in &p {
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_parts_panics() {
+        let g = erdos_renyi(10, 20, 0);
+        let _ = kway(&g, 0, 0);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_partition() {
+        let g = dgcl_graph::CsrGraph::empty(0);
+        assert!(kway(&g, 1, 0).is_empty());
+    }
+}

@@ -1,0 +1,369 @@
+//! Communication relation derived from a graph partition.
+//!
+//! For a GPU `d`, the paper defines `V_l(d)` — its local vertices, `V_r(d)`
+//! — the remote vertices whose embeddings it needs (direct neighbours of
+//! local vertices owned elsewhere), and records a tuple `(d_i, d_j, V_ij)`
+//! per GPU pair with the embeddings `d_i` must send `d_j` (§4.1).
+//! [`PartitionedGraph`] computes all of that, plus the re-indexed local
+//! graph each simulated device trains on.
+
+use dgcl_graph::{CsrGraph, VertexId};
+
+use crate::Partition;
+
+/// A graph partitioned across `num_parts` devices, with the derived
+/// communication relation.
+#[derive(Debug, Clone)]
+pub struct PartitionedGraph {
+    /// Number of parts (GPUs).
+    pub num_parts: usize,
+    /// Owner of every vertex.
+    pub partition: Partition,
+    /// Per part: owned vertices, sorted by global id.
+    pub local: Vec<Vec<VertexId>>,
+    /// Per part: remote vertices required as inputs, sorted by global id.
+    pub remote: Vec<Vec<VertexId>>,
+    /// `demands[i][j]`: vertices owned by `i` whose embeddings `j` needs
+    /// (the paper's `V_ij`), sorted by global id. Empty when `i == j`.
+    pub demands: Vec<Vec<Vec<VertexId>>>,
+    local_graphs: Vec<LocalGraph>,
+}
+
+/// The re-indexed graph a single device trains on.
+///
+/// Local ids `0..num_local` are the device's own vertices (sorted by global
+/// id), followed by its remote vertices (also sorted by global id).
+/// Adjacency is stored for local vertices only — a device aggregates into
+/// vertices it owns; remote rows are empty.
+#[derive(Debug, Clone)]
+pub struct LocalGraph {
+    /// Adjacency over local ids. Rows for remote vertices are empty.
+    pub graph: CsrGraph,
+    /// How many of the ids are local (owned) vertices.
+    pub num_local: usize,
+    /// Local id to global id (locals first, then remotes).
+    pub global_ids: Vec<VertexId>,
+}
+
+impl LocalGraph {
+    /// Total vertices visible to the device (local + remote).
+    pub fn num_total(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// Number of remote vertices.
+    pub fn num_remote(&self) -> usize {
+        self.num_total() - self.num_local
+    }
+
+    /// Maps a global vertex id to the device-local id, or `None` if the
+    /// vertex is not visible on this device.
+    pub fn local_id(&self, global: VertexId) -> Option<usize> {
+        let locals = &self.global_ids[..self.num_local];
+        if let Ok(i) = locals.binary_search(&global) {
+            return Some(i);
+        }
+        let remotes = &self.global_ids[self.num_local..];
+        remotes
+            .binary_search(&global)
+            .ok()
+            .map(|i| self.num_local + i)
+    }
+}
+
+impl PartitionedGraph {
+    /// Builds the communication relation for `graph` under `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition length mismatches the vertex count or a
+    /// part id is out of range.
+    pub fn new(graph: &CsrGraph, partition: Partition, num_parts: usize) -> Self {
+        assert_eq!(
+            partition.len(),
+            graph.num_vertices(),
+            "partition length must match vertex count"
+        );
+        assert!(
+            partition.iter().all(|&p| (p as usize) < num_parts),
+            "part id out of range"
+        );
+        let mut local: Vec<Vec<VertexId>> = vec![Vec::new(); num_parts];
+        for (v, &p) in partition.iter().enumerate() {
+            local[p as usize].push(v as VertexId);
+        }
+        // Remote vertices: neighbours of local vertices owned elsewhere.
+        let mut remote: Vec<Vec<VertexId>> = vec![Vec::new(); num_parts];
+        for (d, owned) in local.iter().enumerate() {
+            let mut set = Vec::new();
+            for &v in owned {
+                for &u in graph.neighbors(v) {
+                    if partition[u as usize] as usize != d {
+                        set.push(u);
+                    }
+                }
+            }
+            set.sort_unstable();
+            set.dedup();
+            remote[d] = set;
+        }
+        // Demands: V_ij = local[i] ∩ remote[j].
+        let mut demands: Vec<Vec<Vec<VertexId>>> = vec![vec![Vec::new(); num_parts]; num_parts];
+        for (j, remotes) in remote.iter().enumerate() {
+            for &u in remotes {
+                let i = partition[u as usize] as usize;
+                demands[i][j].push(u);
+            }
+        }
+        let local_graphs = (0..num_parts)
+            .map(|d| build_local_graph(graph, &local[d], &remote[d]))
+            .collect();
+        Self {
+            num_parts,
+            partition,
+            local,
+            remote,
+            demands,
+            local_graphs,
+        }
+    }
+
+    /// The owner (GPU rank) of a global vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn owner(&self, v: VertexId) -> u32 {
+        self.partition[v as usize]
+    }
+
+    /// The re-indexed graph for device `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn local_graph(&self, d: usize) -> &LocalGraph {
+        &self.local_graphs[d]
+    }
+
+    /// All multicast demands: for every vertex with at least one remote
+    /// consumer, `(vertex, source part, destination parts)`. Destinations
+    /// are sorted ascending.
+    pub fn multicast_demands(&self) -> Vec<(VertexId, u32, Vec<u32>)> {
+        let n = self.partition.len();
+        let mut dests: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, row) in self.demands.iter().enumerate() {
+            for (j, vs) in row.iter().enumerate() {
+                let _ = i;
+                for &v in vs {
+                    dests[v as usize].push(j as u32);
+                }
+            }
+        }
+        dests
+            .into_iter()
+            .enumerate()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(v, mut d)| {
+                d.sort_unstable();
+                (v as VertexId, self.partition[v], d)
+            })
+            .collect()
+    }
+
+    /// Total number of vertex embeddings crossing partitions per layer
+    /// (the sum of all `|V_ij|`).
+    pub fn total_demand(&self) -> usize {
+        self.demands
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|v| v.len())
+            .sum()
+    }
+}
+
+fn build_local_graph(graph: &CsrGraph, local: &[VertexId], remote: &[VertexId]) -> LocalGraph {
+    let num_local = local.len();
+    let mut global_ids = Vec::with_capacity(num_local + remote.len());
+    global_ids.extend_from_slice(local);
+    global_ids.extend_from_slice(remote);
+    let lookup = |global: VertexId| -> u32 {
+        if let Ok(i) = local.binary_search(&global) {
+            i as u32
+        } else {
+            let i = remote
+                .binary_search(&global)
+                .expect("neighbour must be local or remote");
+            (num_local + i) as u32
+        }
+    };
+    let total = global_ids.len();
+    let mut offsets = Vec::with_capacity(total + 1);
+    offsets.push(0usize);
+    let mut targets = Vec::new();
+    for &v in local {
+        let mut row: Vec<u32> = graph.neighbors(v).iter().map(|&u| lookup(u)).collect();
+        row.sort_unstable();
+        targets.extend_from_slice(&row);
+        offsets.push(targets.len());
+    }
+    for _ in 0..remote.len() {
+        offsets.push(targets.len());
+    }
+    LocalGraph {
+        graph: CsrGraph::from_parts(offsets, targets),
+        num_local,
+        global_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgcl_graph::GraphBuilder;
+
+    /// The running example of Figure 1b: 12 vertices a..l partitioned onto
+    /// 4 GPUs. Vertex ids: a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9 k=10
+    /// l=11.
+    fn fig1_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new(12);
+        // Edges from Figure 1a (undirected reading of the example):
+        // a-b, a-c, a-d, a-f, a-j, b-c, d-e, d-f, e-h, e-i, f-h, g-i,
+        // h-i, j-k, j-l, k-l.
+        for &(s, d) in &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 5),
+            (0, 9),
+            (1, 2),
+            (3, 4),
+            (3, 5),
+            (4, 7),
+            (4, 8),
+            (5, 7),
+            (6, 8),
+            (7, 8),
+            (9, 10),
+            (9, 11),
+            (10, 11),
+        ] {
+            b.add_edge(s, d);
+        }
+        b.build_symmetric()
+    }
+
+    fn fig1_partition() -> Partition {
+        // GPU1: {a,b,c}, GPU2: {d,e,f}, GPU3: {g,h,i}, GPU4: {j,k,l}.
+        vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]
+    }
+
+    #[test]
+    fn fig1_local_and_remote_sets_match_paper() {
+        let g = fig1_graph();
+        let pg = PartitionedGraph::new(&g, fig1_partition(), 4);
+        // §4.1: V_l(1) = {a, b, c} and V_r(1) = {d, f, j} (neighbours of
+        // a on other GPUs; the paper also lists k — k is 2 hops from a in
+        // Figure 1a, so the direct-neighbour set here is {d, f, j}).
+        assert_eq!(pg.local[0], vec![0, 1, 2]);
+        assert_eq!(pg.remote[0], vec![3, 5, 9]);
+    }
+
+    #[test]
+    fn demands_are_symmetric_for_symmetric_graphs() {
+        let g = fig1_graph();
+        let pg = PartitionedGraph::new(&g, fig1_partition(), 4);
+        // If i needs nothing from j, j needs nothing from i (the graph is
+        // symmetric, so a cut edge creates demand both ways).
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    pg.demands[i][j].is_empty(),
+                    pg.demands[j][i].is_empty(),
+                    "asymmetric emptiness {i}->{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demand_vertices_are_owned_by_sender() {
+        let g = fig1_graph();
+        let pg = PartitionedGraph::new(&g, fig1_partition(), 4);
+        for (i, row) in pg.demands.iter().enumerate() {
+            for vs in row {
+                for &v in vs {
+                    assert_eq!(pg.owner(v) as usize, i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_demand() {
+        let g = fig1_graph();
+        let pg = PartitionedGraph::new(&g, fig1_partition(), 4);
+        for i in 0..4 {
+            assert!(pg.demands[i][i].is_empty());
+        }
+    }
+
+    #[test]
+    fn multicast_demands_cover_total_demand() {
+        let g = fig1_graph();
+        let pg = PartitionedGraph::new(&g, fig1_partition(), 4);
+        let multicast = pg.multicast_demands();
+        let spread: usize = multicast.iter().map(|(_, _, d)| d.len()).sum();
+        assert_eq!(spread, pg.total_demand());
+        for (v, src, dsts) in &multicast {
+            assert_eq!(pg.owner(*v), *src);
+            assert!(!dsts.contains(src));
+        }
+    }
+
+    #[test]
+    fn local_graph_reindexing_round_trips() {
+        let g = fig1_graph();
+        let pg = PartitionedGraph::new(&g, fig1_partition(), 4);
+        let lg = pg.local_graph(0);
+        assert_eq!(lg.num_local, 3);
+        assert_eq!(lg.num_remote(), 3);
+        // Local id of global a=0 is 0; of remote j=9 is 3 + index in
+        // remote list {3,5,9} = 5.
+        assert_eq!(lg.local_id(0), Some(0));
+        assert_eq!(lg.local_id(9), Some(5));
+        assert_eq!(lg.local_id(6), None);
+    }
+
+    #[test]
+    fn local_graph_preserves_degrees() {
+        let g = fig1_graph();
+        let pg = PartitionedGraph::new(&g, fig1_partition(), 4);
+        for d in 0..4 {
+            let lg = pg.local_graph(d);
+            for (li, &global) in lg.global_ids[..lg.num_local].iter().enumerate() {
+                assert_eq!(
+                    lg.graph.out_degree(li as u32),
+                    g.out_degree(global),
+                    "device {d} vertex {global}"
+                );
+            }
+            // Remote rows are empty.
+            for li in lg.num_local..lg.num_total() {
+                assert_eq!(lg.graph.out_degree(li as u32), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn graph_allgather_semantics_on_fig1() {
+        // After graph Allgather, GPU 1 holds embeddings of
+        // {a, b, c, d, f, j} (§4.2 of the paper).
+        let g = fig1_graph();
+        let pg = PartitionedGraph::new(&g, fig1_partition(), 4);
+        let lg = pg.local_graph(0);
+        let mut visible: Vec<VertexId> = lg.global_ids.clone();
+        visible.sort_unstable();
+        assert_eq!(visible, vec![0, 1, 2, 3, 5, 9]);
+    }
+}

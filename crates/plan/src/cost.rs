@@ -1,0 +1,297 @@
+//! The staged communication cost model (§5.1 of the paper).
+//!
+//! Communications happen in stages; the stage of a transfer is the depth of
+//! its edge in the vertex's communication tree. The model's rules:
+//!
+//! * A link between two GPUs is realised by a path of directed physical
+//!   hops. In a stage, each hop's time is the aggregate bytes routed
+//!   through it divided by its bandwidth — aggregation across links is
+//!   what captures *contention*.
+//! * A link's stage time is the maximum over its hops (hops are
+//!   pipelined, so the slowest dominates).
+//! * A stage's time is the maximum over its active links (links run in
+//!   parallel); hence the stage max over links equals the max over all
+//!   active hops.
+//! * The plan's time is the sum of its stage times.
+
+use dgcl_topology::{Route, Topology};
+
+/// Mutable cost-model state: per-stage volumes on every directed physical
+/// hop, with cached stage times.
+///
+/// The incremental query [`CostState::delta`] implements Algorithm 2's
+/// `C(i, e_j)` — the increase in total plan time from routing `bytes` over
+/// a link at a stage — in `O(hops)` instead of re-evaluating the full cost
+/// function, by exploiting that added volume only raises the affected
+/// hops.
+#[derive(Debug, Clone)]
+pub struct CostState {
+    /// Bandwidth in bytes/second per directed hop slot.
+    hop_bandwidth: Vec<f64>,
+    /// `bytes[stage][hop_slot]`.
+    bytes: Vec<Vec<u64>>,
+    /// Cached per-stage maxima (seconds).
+    stage_time: Vec<f64>,
+}
+
+/// Directed hop slot: two slots per physical connection.
+fn slot(conn_index: usize, forward: bool) -> usize {
+    conn_index * 2 + usize::from(forward)
+}
+
+impl CostState {
+    /// Creates an empty cost state for `topology` with `max_stages` stages
+    /// (a communication tree over `m` GPUs has at most `m - 1` stages).
+    pub fn new(topology: &Topology, max_stages: usize) -> Self {
+        let slots = topology.conns().len() * 2;
+        let mut hop_bandwidth = vec![0.0; slots];
+        for conn in topology.conns() {
+            let bw = conn.bandwidth_gbps * 1e9;
+            hop_bandwidth[slot(conn.id.index(), false)] = bw;
+            hop_bandwidth[slot(conn.id.index(), true)] = bw;
+        }
+        Self {
+            hop_bandwidth,
+            bytes: vec![vec![0; slots]; max_stages],
+            stage_time: vec![0.0; max_stages],
+        }
+    }
+
+    /// Number of stages the state models.
+    pub fn max_stages(&self) -> usize {
+        self.stage_time.len()
+    }
+
+    /// Total plan time in seconds: the sum over stage times.
+    pub fn total_time(&self) -> f64 {
+        self.stage_time.iter().sum()
+    }
+
+    /// Time of a single stage in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn stage_time(&self, stage: usize) -> f64 {
+        self.stage_time[stage]
+    }
+
+    /// The increase in total plan time if `bytes` were routed over `route`
+    /// at `stage`, without mutating the state (Algorithm 2's `C(i, e_j)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn delta(&self, stage: usize, route: &Route, bytes: u64) -> f64 {
+        let volumes = &self.bytes[stage];
+        let mut new_max = self.stage_time[stage];
+        for hop in &route.hops {
+            let s = slot(hop.conn.index(), hop.forward);
+            let t = (volumes[s] + bytes) as f64 / self.hop_bandwidth[s];
+            if t > new_max {
+                new_max = t;
+            }
+        }
+        new_max - self.stage_time[stage]
+    }
+
+    /// Commits `bytes` over `route` at `stage`, returning the realised
+    /// increase in total plan time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn add(&mut self, stage: usize, route: &Route, bytes: u64) -> f64 {
+        let volumes = &mut self.bytes[stage];
+        let mut new_max = self.stage_time[stage];
+        for hop in &route.hops {
+            let s = slot(hop.conn.index(), hop.forward);
+            volumes[s] += bytes;
+            let t = volumes[s] as f64 / self.hop_bandwidth[s];
+            if t > new_max {
+                new_max = t;
+            }
+        }
+        let delta = new_max - self.stage_time[stage];
+        self.stage_time[stage] = new_max;
+        delta
+    }
+
+    /// Bytes currently attributed to a directed hop at a stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn hop_bytes(&self, stage: usize, conn_index: usize, forward: bool) -> u64 {
+        self.bytes[stage][slot(conn_index, forward)]
+    }
+
+    /// Per-stage volume report: for each stage, the total bytes per
+    /// physical-connection kind (used by the NVLink-vs-others breakdowns
+    /// of Tables 2 and 7).
+    pub fn volume_by_kind(&self, topology: &Topology) -> Vec<(dgcl_topology::LinkKind, u64)> {
+        let mut acc: Vec<(dgcl_topology::LinkKind, u64)> = Vec::new();
+        for stage in &self.bytes {
+            for conn in topology.conns() {
+                let v = stage[slot(conn.id.index(), false)] + stage[slot(conn.id.index(), true)];
+                if v == 0 {
+                    continue;
+                }
+                match acc.iter_mut().find(|(k, _)| *k == conn.kind) {
+                    Some((_, total)) => *total += v,
+                    None => acc.push((conn.kind, v)),
+                }
+            }
+        }
+        acc
+    }
+
+    /// The time each link kind would need in isolation: for every stage,
+    /// the maximum hop time among hops of that kind, summed over stages.
+    /// Used for the Table 7 balance breakdown.
+    pub fn time_by_nvlink_split(&self, topology: &Topology) -> (f64, f64) {
+        let mut nvlink = 0.0;
+        let mut others = 0.0;
+        for stage in &self.bytes {
+            let mut nv_max = 0.0f64;
+            let mut other_max = 0.0f64;
+            for conn in topology.conns() {
+                for fwd in [false, true] {
+                    let s = slot(conn.id.index(), fwd);
+                    if stage[s] == 0 {
+                        continue;
+                    }
+                    let t = stage[s] as f64 / self.hop_bandwidth[s];
+                    if conn.kind.is_nvlink() {
+                        nv_max = nv_max.max(t);
+                    } else {
+                        other_max = other_max.max(t);
+                    }
+                }
+            }
+            nvlink += nv_max;
+            others += other_max;
+        }
+        (nvlink, others)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgcl_topology::Topology;
+
+    #[test]
+    fn empty_state_costs_nothing() {
+        let topo = Topology::fig6();
+        let cs = CostState::new(&topo, 3);
+        assert_eq!(cs.total_time(), 0.0);
+    }
+
+    #[test]
+    fn single_transfer_cost_is_bytes_over_bottleneck() {
+        let topo = Topology::fig6();
+        let mut cs = CostState::new(&topo, 3);
+        // d0 -> d1 over NVLink (24.22 GB/s).
+        let route = topo.route(0, 1).clone();
+        let delta = cs.add(0, &route, 24_220_000);
+        assert!((delta - 1e-3).abs() < 1e-9, "delta {delta}");
+        assert!((cs.total_time() - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_hop_link_pays_its_slowest_hop() {
+        let topo = Topology::fig6();
+        let mut cs = CostState::new(&topo, 3);
+        // d0 -> d2 goes PCIe-QPI-PCIe; QPI (9.56) is the bottleneck.
+        let route = topo.route(0, 2).clone();
+        cs.add(0, &route, 9_560_000);
+        assert!((cs.total_time() - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_aggregates_on_shared_hop() {
+        // d0 -> d2 and d1 -> d3 share the QPI in the same direction; their
+        // bytes add on it (the Figure 6 contention example).
+        let topo = Topology::fig6();
+        let mut cs = CostState::new(&topo, 3);
+        let r02 = topo.route(0, 2).clone();
+        let r13 = topo.route(1, 3).clone();
+        cs.add(0, &r02, 9_560_000);
+        cs.add(0, &r13, 9_560_000);
+        // QPI now carries 2x the bytes: 2 ms, not 1 ms.
+        assert!((cs.total_time() - 2e-3).abs() < 1e-9, "{}", cs.total_time());
+    }
+
+    #[test]
+    fn opposite_directions_do_not_contend() {
+        let topo = Topology::fig6();
+        let mut cs = CostState::new(&topo, 3);
+        let r02 = topo.route(0, 2).clone();
+        let r20 = topo.route(2, 0).clone();
+        cs.add(0, &r02, 9_560_000);
+        cs.add(0, &r20, 9_560_000);
+        // Full duplex: both directions finish in 1 ms.
+        assert!((cs.total_time() - 1e-3).abs() < 1e-9, "{}", cs.total_time());
+    }
+
+    #[test]
+    fn parallel_links_in_one_stage_take_the_max() {
+        let topo = Topology::fig6();
+        let mut cs = CostState::new(&topo, 3);
+        let nv = topo.route(0, 1).clone();
+        let qpi = topo.route(0, 2).clone();
+        cs.add(0, &nv, 24_220_000); // 1 ms on NVLink.
+        cs.add(0, &qpi, 9_560_000); // 1 ms through QPI (PCIe hop shared with... none).
+        assert!((cs.total_time() - 1e-3).abs() < 1e-7, "{}", cs.total_time());
+    }
+
+    #[test]
+    fn stages_sum() {
+        let topo = Topology::fig6();
+        let mut cs = CostState::new(&topo, 3);
+        let nv = topo.route(0, 1).clone();
+        cs.add(0, &nv, 24_220_000);
+        cs.add(1, &nv, 24_220_000);
+        assert!((cs.total_time() - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_matches_add() {
+        let topo = Topology::fig6();
+        let mut cs = CostState::new(&topo, 4);
+        let r02 = topo.route(0, 2).clone();
+        let r13 = topo.route(1, 3).clone();
+        cs.add(0, &r02, 5_000_000);
+        let predicted = cs.delta(0, &r13, 3_000_000);
+        let realised = cs.add(0, &r13, 3_000_000);
+        assert!((predicted - realised).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_is_zero_for_underloaded_link() {
+        // Load balancing intuition of §5.2: adding traffic to a link whose
+        // time stays below the stage time is free.
+        let topo = Topology::fig6();
+        let mut cs = CostState::new(&topo, 2);
+        let qpi = topo.route(0, 2).clone();
+        let nv = topo.route(0, 1).clone();
+        cs.add(0, &qpi, 95_600_000); // 10 ms via QPI.
+                                     // A small NVLink transfer in the same stage is absorbed.
+        assert_eq!(cs.delta(0, &nv, 24_220), 0.0);
+    }
+
+    #[test]
+    fn volume_by_kind_accumulates() {
+        let topo = Topology::fig6();
+        let mut cs = CostState::new(&topo, 2);
+        cs.add(0, &topo.route(0, 1).clone(), 1000);
+        cs.add(1, &topo.route(0, 1).clone(), 500);
+        let volumes = cs.volume_by_kind(&topo);
+        let nv1 = volumes
+            .iter()
+            .find(|(k, _)| *k == dgcl_topology::LinkKind::NvLink1)
+            .map(|(_, v)| *v);
+        assert_eq!(nv1, Some(1500));
+    }
+}

@@ -1,0 +1,332 @@
+//! Per-device send/receive tables (§6.1) and the non-atomic sub-stage
+//! split (§6.2).
+//!
+//! A communication plan is issued to the devices as `(d_i, d_j, k, T^s,
+//! T^r)` tuples: at stage `k`, device `d_i` sends the embeddings listed in
+//! `T^s` to `d_j` and receives those in `T^r`. The tables hold vertex ids
+//! only, so their memory footprint is tiny relative to training state
+//! (Figure 11), and the same tables are reused for every layer; the
+//! backward pass runs the stages in reverse with `T^s` and `T^r` swapped.
+//!
+//! In the backward pass a device that forwarded a vertex to several peers
+//! receives gradient contributions for the *same* vertex from all of them
+//! in one stage, forcing atomic accumulation. The sub-stage split
+//! ([`SendRecvTables::split_substages`]) reorders each stage into
+//! sub-stages so every vertex receives from at most one peer per
+//! sub-stage, eliminating the atomics (Table 9).
+
+use std::collections::HashMap;
+
+use dgcl_graph::VertexId;
+
+use crate::plan::CommPlan;
+
+/// Send/receive vertex lists accumulating under one table key.
+type IoPair = (Vec<VertexId>, Vec<VertexId>);
+
+/// One batched exchange between a device and a peer within a
+/// (stage, sub-stage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageIo {
+    /// Stage index.
+    pub stage: usize,
+    /// Sub-stage index (0 unless the tables were split).
+    pub substage: usize,
+    /// The peer device.
+    pub peer: usize,
+    /// Vertex ids this device sends to the peer (`T^s`).
+    pub send: Vec<VertexId>,
+    /// Vertex ids this device receives from the peer (`T^r`).
+    pub recv: Vec<VertexId>,
+}
+
+/// The complete per-device execution tables for one plan direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendRecvTables {
+    /// Number of devices.
+    pub num_gpus: usize,
+    /// Number of stages.
+    pub num_stages: usize,
+    /// Number of sub-stages per stage (1 unless split).
+    pub num_substages: usize,
+    /// Per device: exchanges sorted by `(stage, substage, peer)`.
+    pub per_device: Vec<Vec<StageIo>>,
+}
+
+impl SendRecvTables {
+    /// Compiles a plan into per-device tables (forward direction).
+    pub fn from_plan(plan: &CommPlan) -> Self {
+        // Key: (device, stage, substage, peer).
+        let mut map: HashMap<(usize, usize, usize), IoPair> = HashMap::new();
+        for step in &plan.steps {
+            map.entry((step.src, step.stage, step.dst))
+                .or_default()
+                .0
+                .extend_from_slice(&step.vertices);
+            map.entry((step.dst, step.stage, step.src))
+                .or_default()
+                .1
+                .extend_from_slice(&step.vertices);
+        }
+        let mut per_device: Vec<Vec<StageIo>> = vec![Vec::new(); plan.num_gpus];
+        for ((device, stage, peer), (send, recv)) in map {
+            per_device[device].push(StageIo {
+                stage,
+                substage: 0,
+                peer,
+                send,
+                recv,
+            });
+        }
+        for ios in &mut per_device {
+            for io in ios.iter_mut() {
+                io.send.sort_unstable();
+                io.recv.sort_unstable();
+            }
+            ios.sort_by_key(|io| (io.stage, io.substage, io.peer));
+        }
+        Self {
+            num_gpus: plan.num_gpus,
+            num_stages: plan.num_stages,
+            num_substages: 1,
+            per_device,
+        }
+    }
+
+    /// Bytes needed to store all tables (4 bytes per vertex-id entry),
+    /// the quantity Figure 11 relates to training memory.
+    pub fn memory_bytes(&self) -> u64 {
+        self.per_device
+            .iter()
+            .flat_map(|ios| ios.iter())
+            .map(|io| (io.send.len() + io.recv.len()) as u64 * 4)
+            .sum()
+    }
+
+    /// The backward-pass tables: stages in reverse order, send and
+    /// receive swapped (gradients flow opposite to embeddings).
+    pub fn reversed(&self) -> SendRecvTables {
+        let last = self.num_stages.saturating_sub(1);
+        let mut per_device: Vec<Vec<StageIo>> = self
+            .per_device
+            .iter()
+            .map(|ios| {
+                ios.iter()
+                    .map(|io| StageIo {
+                        stage: last - io.stage,
+                        substage: io.substage,
+                        peer: io.peer,
+                        send: io.recv.clone(),
+                        recv: io.send.clone(),
+                    })
+                    .collect()
+            })
+            .collect();
+        for ios in &mut per_device {
+            ios.sort_by_key(|io| (io.stage, io.substage, io.peer));
+        }
+        SendRecvTables {
+            num_gpus: self.num_gpus,
+            num_stages: self.num_stages,
+            num_substages: self.num_substages,
+            per_device,
+        }
+    }
+
+    /// Splits every stage into sub-stages so that, per device and
+    /// sub-stage, each vertex is received from at most one peer —
+    /// enabling non-atomic gradient accumulation (§6.2).
+    ///
+    /// The send tables are adjusted to match the receivers' split.
+    pub fn split_substages(&self) -> SendRecvTables {
+        // Assign each (receiver, stage, peer, vertex) a sub-stage: the
+        // occurrence index of the vertex among the receiver's incoming
+        // lists for the stage, scanning peers in ascending order.
+        let mut pieces: HashMap<(usize, usize, usize, usize), Vec<VertexId>> = HashMap::new();
+        let mut num_substages = 1usize;
+        for (device, ios) in self.per_device.iter().enumerate() {
+            let mut stages: Vec<usize> = ios.iter().map(|io| io.stage).collect();
+            stages.sort_unstable();
+            stages.dedup();
+            for stage in stages {
+                let mut counter: HashMap<VertexId, usize> = HashMap::new();
+                let mut incoming: Vec<&StageIo> = ios
+                    .iter()
+                    .filter(|io| io.stage == stage && !io.recv.is_empty())
+                    .collect();
+                incoming.sort_by_key(|io| io.peer);
+                for io in incoming {
+                    for &v in &io.recv {
+                        let sub = counter.entry(v).or_insert(0);
+                        pieces
+                            .entry((device, stage, *sub, io.peer))
+                            .or_default()
+                            .push(v);
+                        *sub += 1;
+                        num_substages = num_substages.max(*sub);
+                    }
+                }
+            }
+        }
+        // Rebuild both directions from the receive-side pieces.
+        let mut map: HashMap<(usize, usize, usize, usize), IoPair> = HashMap::new();
+        for ((receiver, stage, substage, sender), verts) in pieces {
+            map.entry((receiver, stage, substage, sender))
+                .or_default()
+                .1
+                .extend_from_slice(&verts);
+            map.entry((sender, stage, substage, receiver))
+                .or_default()
+                .0
+                .extend(verts);
+        }
+        let mut per_device: Vec<Vec<StageIo>> = vec![Vec::new(); self.num_gpus];
+        for ((device, stage, substage, peer), (send, recv)) in map {
+            per_device[device].push(StageIo {
+                stage,
+                substage,
+                peer,
+                send,
+                recv,
+            });
+        }
+        for ios in &mut per_device {
+            for io in ios.iter_mut() {
+                io.send.sort_unstable();
+                io.recv.sort_unstable();
+            }
+            ios.sort_by_key(|io| (io.stage, io.substage, io.peer));
+        }
+        SendRecvTables {
+            num_gpus: self.num_gpus,
+            num_stages: self.num_stages,
+            num_substages,
+            per_device,
+        }
+    }
+
+    /// Total vertex-id entries across all send tables (each transfer
+    /// appears once as a send and once as a receive).
+    pub fn total_send_entries(&self) -> usize {
+        self.per_device
+            .iter()
+            .flat_map(|ios| ios.iter())
+            .map(|io| io.send.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CommPlan;
+
+    /// A 3-GPU plan where GPU0 sends v0 to GPU1 (stage 0) and GPU1
+    /// forwards it to GPU2 (stage 1); plus GPU2 sends v5 to GPU1.
+    fn forwarding_plan() -> CommPlan {
+        CommPlan::from_edges(3, vec![(0, 0, 1, 0), (0, 1, 2, 1), (5, 2, 1, 0)])
+    }
+
+    #[test]
+    fn tables_mirror_the_plan() {
+        let t = SendRecvTables::from_plan(&forwarding_plan());
+        // GPU0 sends v0 to GPU1 at stage 0.
+        let io = &t.per_device[0][0];
+        assert_eq!((io.stage, io.peer), (0, 1));
+        assert_eq!(io.send, vec![0]);
+        assert!(io.recv.is_empty());
+        // GPU1 both receives v0 from 0 and v5 from 2 at stage 0, then
+        // sends v0 to 2 at stage 1.
+        let g1 = &t.per_device[1];
+        assert_eq!(g1.len(), 3);
+        assert_eq!(g1[2].stage, 1);
+        assert_eq!(g1[2].send, vec![0]);
+    }
+
+    #[test]
+    fn send_and_recv_are_consistent() {
+        let t = SendRecvTables::from_plan(&forwarding_plan());
+        for (d, ios) in t.per_device.iter().enumerate() {
+            for io in ios {
+                let peer_ios = &t.per_device[io.peer];
+                let matching = peer_ios
+                    .iter()
+                    .find(|p| p.stage == io.stage && p.substage == io.substage && p.peer == d)
+                    .expect("peer entry exists");
+                assert_eq!(io.send, matching.recv);
+                assert_eq!(io.recv, matching.send);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let t = SendRecvTables::from_plan(&forwarding_plan());
+        // 3 transfers, each recorded as one send and one recv entry:
+        // 6 entries * 4 bytes.
+        assert_eq!(t.memory_bytes(), 24);
+    }
+
+    #[test]
+    fn reversal_swaps_direction_and_order() {
+        let t = SendRecvTables::from_plan(&forwarding_plan());
+        let r = t.reversed();
+        // Forward stage 1 (GPU1 -> GPU2, v0) becomes backward stage 0
+        // (GPU2 sends the gradient of v0 back to GPU1).
+        let g2 = &r.per_device[2];
+        let first = g2.iter().find(|io| io.stage == 0 && io.peer == 1).unwrap();
+        assert_eq!(first.send, vec![0]);
+        let g1 = &r.per_device[1];
+        let recv = g1.iter().find(|io| io.stage == 0 && io.peer == 2).unwrap();
+        assert_eq!(recv.recv, vec![0]);
+    }
+
+    #[test]
+    fn double_reversal_is_identity() {
+        let t = SendRecvTables::from_plan(&forwarding_plan());
+        assert_eq!(t.reversed().reversed(), t);
+    }
+
+    /// A backward-direction table where GPU0 receives gradients for the
+    /// same vertex from two peers in one stage.
+    fn conflicting_plan() -> CommPlan {
+        CommPlan::from_edges(3, vec![(7, 1, 0, 0), (8, 1, 0, 0), (7, 2, 0, 0)])
+    }
+
+    #[test]
+    fn substage_split_separates_conflicts() {
+        let t = SendRecvTables::from_plan(&conflicting_plan());
+        let s = t.split_substages();
+        assert!(s.num_substages >= 2);
+        // Within each (device, stage, substage), a vertex appears in at
+        // most one recv list.
+        for ios in &s.per_device {
+            let mut seen: std::collections::HashSet<(usize, usize, VertexId)> =
+                std::collections::HashSet::new();
+            for io in ios {
+                for &v in &io.recv {
+                    assert!(
+                        seen.insert((io.stage, io.substage, v)),
+                        "vertex {v} received twice in stage {} substage {}",
+                        io.stage,
+                        io.substage
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn substage_split_preserves_volume() {
+        let t = SendRecvTables::from_plan(&conflicting_plan());
+        let s = t.split_substages();
+        assert_eq!(s.total_send_entries(), t.total_send_entries());
+    }
+
+    #[test]
+    fn split_without_conflicts_is_trivial() {
+        let t = SendRecvTables::from_plan(&forwarding_plan());
+        let s = t.split_substages();
+        assert_eq!(s.num_substages, 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Roofline-style GNN compute-time model.
+//!
+//! GNN layer time on a GPU splits into a memory-bound neighbour
+//! aggregation (gather `feat` floats per edge, write one row per vertex)
+//! and flop-bound dense updates (the layer's matrix multiplies). The model
+//! charges each part against the profile's memory bandwidth or peak
+//! flops, plus a fixed kernel-launch overhead — enough to reproduce the
+//! paper's compute/communication ratios across GCN, CommNet and GIN
+//! (GCN < CommNet < GIN in compute intensity, §7).
+
+/// The three GNN models the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GnnModel {
+    /// Graph convolutional network: one dense update per layer.
+    Gcn,
+    /// CommNet: separate self/neighbour transforms (two updates).
+    CommNet,
+    /// Graph isomorphism network: a two-layer MLP update (heaviest).
+    Gin,
+}
+
+impl GnnModel {
+    /// All models in the paper's order.
+    pub fn all() -> [GnnModel; 3] {
+        [GnnModel::Gcn, GnnModel::CommNet, GnnModel::Gin]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GnnModel::Gcn => "GCN",
+            GnnModel::CommNet => "CommNet",
+            GnnModel::Gin => "GIN",
+        }
+    }
+
+    /// Number of dense `in x out` matrix multiplies per layer.
+    pub fn dense_updates(self) -> usize {
+        match self {
+            GnnModel::Gcn => 1,
+            GnnModel::CommNet => 2,
+            // GIN's MLP: two stacked transforms, plus the epsilon-weighted
+            // self term folded into the first.
+            GnnModel::Gin => 3,
+        }
+    }
+}
+
+/// Performance profile of a simulated GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuProfile {
+    /// Effective memory bandwidth in bytes/second.
+    pub mem_bandwidth: f64,
+    /// Effective dense throughput in flops/second.
+    pub flops: f64,
+    /// Fixed kernel-launch overhead in seconds.
+    pub kernel_overhead: f64,
+    /// GPU memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Slowdown multiplier on gradient accumulation when atomics are
+    /// needed (Table 9 removes it via sub-stages).
+    pub atomic_penalty: f64,
+}
+
+impl GpuProfile {
+    /// NVIDIA V100 16 GB (the paper's default configuration). The flop
+    /// rate is an *effective* GNN-workload rate (small per-vertex
+    /// matrices reach a fraction of the 14 TFLOPS peak), calibrated so
+    /// the GCN/CommNet/GIN compute spread matches §7.
+    pub fn v100() -> Self {
+        Self {
+            mem_bandwidth: 1000e9,
+            flops: 3.0e12,
+            kernel_overhead: 10e-6,
+            memory_bytes: 16 * (1 << 30),
+            atomic_penalty: 2.5,
+        }
+    }
+
+    /// NVIDIA GTX 1080-Ti 12 GB (the paper's PCIe-only configuration).
+    pub fn gtx1080ti() -> Self {
+        Self {
+            mem_bandwidth: 484e9,
+            flops: 2.2e12,
+            kernel_overhead: 10e-6,
+            memory_bytes: 12 * (1 << 30),
+            atomic_penalty: 2.5,
+        }
+    }
+
+    /// Seconds for the neighbour aggregation of one layer: gather `feat`
+    /// floats along every edge and write one accumulated row per vertex.
+    pub fn aggregate_seconds(&self, edges: usize, vertices: usize, feat: usize) -> f64 {
+        let bytes = (edges + vertices) as f64 * feat as f64 * 4.0;
+        bytes / self.mem_bandwidth + self.kernel_overhead
+    }
+
+    /// Seconds for one dense `rows x fin -> rows x fout` update.
+    pub fn dense_seconds(&self, rows: usize, fin: usize, fout: usize) -> f64 {
+        let flops = 2.0 * rows as f64 * fin as f64 * fout as f64;
+        flops / self.flops + self.kernel_overhead
+    }
+
+    /// Forward time of one GNN layer over `vertices` output rows and
+    /// `edges` aggregated edges.
+    pub fn layer_forward_seconds(
+        &self,
+        model: GnnModel,
+        vertices: usize,
+        edges: usize,
+        fin: usize,
+        fout: usize,
+    ) -> f64 {
+        let mut t = self.aggregate_seconds(edges, vertices, fin);
+        for _ in 0..model.dense_updates() {
+            t += self.dense_seconds(vertices, fin, fout);
+        }
+        t
+    }
+
+    /// Backward time of one layer: gradient flows re-traverse the edges
+    /// (scatter instead of gather) and every dense update needs both a
+    /// data-gradient and a weight-gradient multiply.
+    pub fn layer_backward_seconds(
+        &self,
+        model: GnnModel,
+        vertices: usize,
+        edges: usize,
+        fin: usize,
+        fout: usize,
+    ) -> f64 {
+        let mut t = self.aggregate_seconds(edges, vertices, fin);
+        for _ in 0..model.dense_updates() {
+            t += 2.0 * self.dense_seconds(vertices, fin, fout);
+        }
+        t
+    }
+
+    /// Seconds to apply `bytes` of received gradients into the embedding
+    /// buffer, optionally with the atomic penalty.
+    pub fn gradient_apply_seconds(&self, bytes: u64, atomic: bool) -> f64 {
+        let factor = if atomic { self.atomic_penalty } else { 1.0 };
+        bytes as f64 * factor / self.mem_bandwidth
+    }
+
+    /// Slowdown multiplier on the backward transfer itself when received
+    /// gradients are folded in with atomic operations: the accumulation
+    /// kernel sits on the critical path of every stage, throttling the
+    /// receive side (the paper measures 25-36% end-to-end, Table 9).
+    pub fn atomic_comm_slowdown(&self) -> f64 {
+        1.0 + (self.atomic_penalty - 1.0) * 0.25
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_complexity_order_matches_paper() {
+        // From GCN to CommNet and GIN, compute per layer increases (§7).
+        let p = GpuProfile::v100();
+        let t = |m| p.layer_forward_seconds(m, 10_000, 500_000, 256, 256);
+        assert!(t(GnnModel::Gcn) < t(GnnModel::CommNet));
+        assert!(t(GnnModel::CommNet) < t(GnnModel::Gin));
+    }
+
+    #[test]
+    fn backward_costs_more_than_forward() {
+        let p = GpuProfile::v100();
+        let fwd = p.layer_forward_seconds(GnnModel::Gcn, 10_000, 500_000, 256, 256);
+        let bwd = p.layer_backward_seconds(GnnModel::Gcn, 10_000, 500_000, 256, 256);
+        assert!(bwd > fwd);
+    }
+
+    #[test]
+    fn aggregation_scales_with_edges() {
+        let p = GpuProfile::v100();
+        let small = p.aggregate_seconds(1_000, 100, 64);
+        let large = p.aggregate_seconds(2_000, 100, 64);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn atomic_apply_is_slower() {
+        let p = GpuProfile::v100();
+        assert!(p.gradient_apply_seconds(1 << 20, true) > p.gradient_apply_seconds(1 << 20, false));
+    }
+
+    #[test]
+    fn v100_outruns_1080ti() {
+        let a = GpuProfile::v100();
+        let b = GpuProfile::gtx1080ti();
+        assert!(
+            a.layer_forward_seconds(GnnModel::Gin, 10_000, 100_000, 128, 128)
+                < b.layer_forward_seconds(GnnModel::Gin, 10_000, 100_000, 128, 128)
+        );
+    }
+
+    #[test]
+    fn names_and_order() {
+        let names: Vec<_> = GnnModel::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["GCN", "CommNet", "GIN"]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Fluid-flow network simulation with max-min fair sharing.
+//!
+//! Each stage of a plan is a set of concurrent flows. A flow follows its
+//! route's directed physical hops; every hop divides its bandwidth among
+//! the flows crossing it by progressive filling (max-min fairness), which
+//! reproduces the contention behaviour the paper measures in Table 3
+//! (n GPUs sharing the QPI each attain roughly `1/n` of it). Flows also
+//! pay a transport-dependent startup overhead (§6.2). Stages execute
+//! sequentially, separated by the decentralized flag synchronisation,
+//! which is modelled as a fixed per-stage barrier cost.
+
+use dgcl_plan::CommPlan;
+use dgcl_topology::{Route, Topology};
+
+use crate::transport::stage_barrier_seconds;
+
+/// One simulated transfer: `bytes` over `route`, starting after
+/// `overhead_seconds` of setup.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// The directed physical path.
+    pub route: Route,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Per-flow startup overhead in seconds (transport dependent).
+    pub overhead_seconds: f64,
+    /// Caller tag used to attribute completion times in reports.
+    pub tag: usize,
+}
+
+/// Result of simulating one stage or a whole plan.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Total simulated time in seconds.
+    pub total_seconds: f64,
+    /// Per-stage times in seconds.
+    pub stage_seconds: Vec<f64>,
+    /// Completion time of every flow, as `(tag, seconds within its
+    /// stage)`.
+    pub flow_completions: Vec<(usize, f64)>,
+}
+
+/// Simulates a set of concurrent flows, returning the stage makespan and
+/// per-flow completion times.
+///
+/// Local flows (empty routes) complete at their overhead time.
+pub fn simulate_flows(topology: &Topology, flows: &[Flow]) -> (f64, Vec<(usize, f64)>) {
+    #[derive(Debug)]
+    struct Live {
+        idx: usize,
+        remaining: f64,
+        start: f64,
+        rate: f64,
+        done: Option<f64>,
+    }
+    let slots = topology.conns().len() * 2;
+    let capacity: Vec<f64> = topology
+        .conns()
+        .iter()
+        .flat_map(|c| [c.bandwidth_gbps * 1e9, c.bandwidth_gbps * 1e9])
+        .collect();
+    let slot_of =
+        |hop: &dgcl_topology::DirectedHop| hop.conn.index() * 2 + usize::from(hop.forward);
+
+    let mut live: Vec<Live> = flows
+        .iter()
+        .enumerate()
+        .map(|(idx, f)| Live {
+            idx,
+            remaining: f.bytes as f64,
+            start: f.overhead_seconds,
+            rate: 0.0,
+            done: None,
+        })
+        .collect();
+    let mut now = 0.0f64;
+    loop {
+        // Active = started, not finished, with bytes left.
+        let mut active: Vec<usize> = Vec::new();
+        let mut next_start = f64::INFINITY;
+        for (i, l) in live.iter().enumerate() {
+            if l.done.is_some() {
+                continue;
+            }
+            if l.start > now + 1e-15 {
+                next_start = next_start.min(l.start);
+            } else if l.remaining > 0.0 {
+                active.push(i);
+            } else {
+                // Zero-byte or local flow: completes at start.
+            }
+        }
+        // Flows with no bytes or no hops complete instantly once started.
+        for l in live.iter_mut() {
+            if l.done.is_none()
+                && l.start <= now + 1e-15
+                && (l.remaining <= 0.0 || flows[l.idx].route.hops.is_empty())
+            {
+                l.done = Some(now.max(l.start));
+            }
+        }
+        active.retain(|&i| live[i].done.is_none());
+        if active.is_empty() {
+            if next_start.is_finite() {
+                now = next_start;
+                continue;
+            }
+            break;
+        }
+        // Max-min fair rates by progressive filling.
+        let mut rate = vec![0.0f64; live.len()];
+        let mut frozen = vec![false; live.len()];
+        let mut hop_used = vec![0.0f64; slots];
+        let mut hop_flows: Vec<Vec<usize>> = vec![Vec::new(); slots];
+        for &i in &active {
+            for hop in &flows[live[i].idx].route.hops {
+                hop_flows[slot_of(hop)].push(i);
+            }
+        }
+        loop {
+            // Fair share per hop among its unfrozen flows.
+            let mut best: Option<(f64, usize)> = None;
+            for s in 0..slots {
+                let unfrozen = hop_flows[s].iter().filter(|&&i| !frozen[i]).count();
+                if unfrozen == 0 {
+                    continue;
+                }
+                let share = (capacity[s] - hop_used[s]) / unfrozen as f64;
+                match best {
+                    Some((b, _)) if b <= share => {}
+                    _ => best = Some((share, s)),
+                }
+            }
+            let Some((share, bottleneck)) = best else {
+                break;
+            };
+            // Freeze all unfrozen flows through the bottleneck at the
+            // fair share.
+            let to_freeze: Vec<usize> = hop_flows[bottleneck]
+                .iter()
+                .copied()
+                .filter(|&i| !frozen[i])
+                .collect();
+            // Freezing all n unfrozen flows adds n * (cap - used) / n to
+            // the bottleneck hop, leaving it exactly saturated.
+            for i in to_freeze {
+                frozen[i] = true;
+                rate[i] = share;
+                for hop in &flows[live[i].idx].route.hops {
+                    hop_used[slot_of(hop)] += share;
+                }
+            }
+        }
+        for &i in &active {
+            live[i].rate = rate[i].max(1e-3);
+        }
+        // Advance to the next event: a flow finishing or a flow starting.
+        let mut dt = f64::INFINITY;
+        for &i in &active {
+            dt = dt.min(live[i].remaining / live[i].rate);
+        }
+        if next_start.is_finite() {
+            dt = dt.min(next_start - now);
+        }
+        for &i in &active {
+            live[i].remaining -= live[i].rate * dt;
+            if live[i].remaining <= 1e-9 {
+                live[i].remaining = 0.0;
+                live[i].done = Some(now + dt);
+            }
+        }
+        now += dt;
+    }
+    let completions: Vec<(usize, f64)> = live
+        .iter()
+        .map(|l| (flows[l.idx].tag, l.done.unwrap_or(0.0)))
+        .collect();
+    let makespan = completions.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+    (makespan, completions)
+}
+
+/// Simulates a staged communication plan, one fair-sharing episode per
+/// stage plus the inter-stage barrier. Flow tags are the step indices in
+/// `plan.steps`.
+pub fn simulate_plan(plan: &CommPlan, topology: &Topology, bytes_per_vertex: u64) -> NetworkReport {
+    let mut stage_seconds = Vec::with_capacity(plan.num_stages);
+    let mut flow_completions = Vec::new();
+    for stage in 0..plan.num_stages {
+        let flows: Vec<Flow> = plan
+            .steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.stage == stage)
+            .map(|(idx, s)| Flow {
+                route: topology.route(s.src, s.dst).clone(),
+                bytes: s.vertices.len() as u64 * bytes_per_vertex,
+                overhead_seconds: crate::transport::flow_overhead_seconds(topology, s.src, s.dst),
+                tag: idx,
+            })
+            .collect();
+        if flows.is_empty() {
+            stage_seconds.push(0.0);
+            continue;
+        }
+        let (t, completions) = simulate_flows(topology, &flows);
+        stage_seconds.push(t + stage_barrier_seconds());
+        flow_completions.extend(completions);
+    }
+    NetworkReport {
+        total_seconds: stage_seconds.iter().sum(),
+        stage_seconds,
+        flow_completions,
+    }
+}
+
+impl NetworkReport {
+    /// Splits a peer-to-peer stage's completion times into NVLink pairs
+    /// and the rest (Table 2): returns `(nvlink_seconds, other_seconds)`,
+    /// each the latest completion among flows of that class.
+    pub fn nvlink_split(&self, plan: &CommPlan, topology: &Topology) -> (f64, f64) {
+        let mut nvlink = 0.0f64;
+        let mut other = 0.0f64;
+        for &(tag, t) in &self.flow_completions {
+            let step = &plan.steps[tag];
+            if topology.is_nvlink_pair(step.src, step.dst) {
+                nvlink = nvlink.max(t);
+            } else {
+                other = other.max(t);
+            }
+        }
+        (nvlink, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgcl_topology::Topology;
+
+    fn flow(topo: &Topology, src: usize, dst: usize, bytes: u64, tag: usize) -> Flow {
+        Flow {
+            route: topo.route(src, dst).clone(),
+            bytes,
+            overhead_seconds: 0.0,
+            tag,
+        }
+    }
+
+    #[test]
+    fn single_flow_runs_at_bottleneck() {
+        let topo = Topology::fig6();
+        // 9.56 MB over the QPI path: 1 ms.
+        let (t, _) = simulate_flows(&topo, &[flow(&topo, 0, 2, 9_560_000, 0)]);
+        assert!((t - 1e-3).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn two_flows_share_the_qpi_fairly() {
+        let topo = Topology::fig6();
+        let flows = [
+            flow(&topo, 0, 2, 9_560_000, 0),
+            flow(&topo, 1, 3, 9_560_000, 1),
+        ];
+        let (t, _) = simulate_flows(&topo, &flows);
+        // Equal flows at half rate: 2 ms, like the cost model.
+        assert!((t - 2e-3).abs() < 1e-5, "t = {t}");
+    }
+
+    #[test]
+    fn attainable_bandwidth_drops_with_sharers() {
+        // Table 3's shape: per-GPU attainable bandwidth over QPI drops
+        // roughly as 1/n.
+        let topo = Topology::fig6();
+        let bytes = 9_560_000u64;
+        let mut last = f64::INFINITY;
+        for n in 1..=2 {
+            let flows: Vec<Flow> = (0..n).map(|i| flow(&topo, i, 2 + i, bytes, i)).collect();
+            let (t, _) = simulate_flows(&topo, &flows);
+            let per_gpu = bytes as f64 / t;
+            assert!(per_gpu < last, "bandwidth should drop with sharers");
+            last = per_gpu;
+        }
+    }
+
+    #[test]
+    fn unequal_flows_let_the_short_one_finish_early() {
+        let topo = Topology::fig6();
+        let flows = [
+            flow(&topo, 0, 2, 9_560_000, 0),
+            flow(&topo, 1, 3, 956_000, 1),
+        ];
+        let (t, completions) = simulate_flows(&topo, &flows);
+        let t_small = completions.iter().find(|&&(tag, _)| tag == 1).unwrap().1;
+        let t_big = completions.iter().find(|&&(tag, _)| tag == 0).unwrap().1;
+        assert!(t_small < t_big);
+        assert!((t - t_big).abs() < 1e-12);
+        // The big flow speeds up after the small one leaves: total under
+        // 2 ms but above 1 ms.
+        assert!(t_big > 1.0e-3 && t_big < 2.0e-3, "t_big = {t_big}");
+    }
+
+    #[test]
+    fn disjoint_flows_run_in_parallel() {
+        let topo = Topology::fig6();
+        let flows = [
+            flow(&topo, 0, 1, 24_220_000, 0), // NVLink pair 0-1.
+            flow(&topo, 2, 3, 24_220_000, 1), // NVLink pair 2-3.
+        ];
+        let (t, _) = simulate_flows(&topo, &flows);
+        assert!((t - 1e-3).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn overhead_delays_start() {
+        let topo = Topology::fig6();
+        let mut f = flow(&topo, 0, 1, 24_220_000, 0);
+        f.overhead_seconds = 5e-3;
+        let (t, _) = simulate_flows(&topo, &[f]);
+        assert!((t - 6e-3).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_at_start() {
+        let topo = Topology::fig6();
+        let mut f = flow(&topo, 0, 1, 0, 7);
+        f.overhead_seconds = 1e-4;
+        let (t, completions) = simulate_flows(&topo, &[f]);
+        assert!((t - 1e-4).abs() < 1e-12);
+        assert_eq!(completions[0].0, 7);
+    }
+
+    #[test]
+    fn simulated_time_tracks_cost_model_shape() {
+        // The fluid simulation and the staged cost model should agree
+        // within a small factor on a simple plan (Figure 10's linearity).
+        use dgcl_plan::CommPlan;
+        let topo = Topology::fig6();
+        let plan = CommPlan::from_edges(4, vec![(0, 0, 2, 0), (1, 1, 3, 0), (2, 2, 3, 1)]);
+        let est = plan.estimated_time(&topo, 1 << 20);
+        let act = simulate_plan(&plan, &topo, 1 << 20).total_seconds;
+        let ratio = act / est;
+        assert!(ratio > 0.8 && ratio < 1.6, "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Transport selection and fixed overheads (§6.2 of the paper).
+//!
+//! DGCL picks a different peer-to-peer mechanism per GPU pair: CUDA
+//! virtual memory under one socket, pinned host memory across sockets, and
+//! a helper thread through the NIC across machines. The mechanisms differ
+//! mainly in their fixed per-transfer cost, which this module models; the
+//! sustained bandwidth is carried by the topology's connection model.
+
+use dgcl_topology::Topology;
+
+/// The communication mechanism automatically selected for a GPU pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// CUDA virtual-memory peer access (same socket).
+    CudaVirtualMemory,
+    /// Pinned CPU memory with DMA (same machine, different sockets).
+    PinnedHostMemory,
+    /// Helper thread through the NIC (different machines).
+    NicHelperThread,
+}
+
+impl Transport {
+    /// Fixed per-transfer startup cost in seconds.
+    pub fn overhead_seconds(self) -> f64 {
+        match self {
+            Transport::CudaVirtualMemory => 5e-6,
+            Transport::PinnedHostMemory => 15e-6,
+            Transport::NicHelperThread => 50e-6,
+        }
+    }
+}
+
+/// Selects the transport for a GPU pair as §6.2 describes.
+///
+/// # Panics
+///
+/// Panics if a rank is out of range.
+pub fn select_transport(topology: &Topology, src: usize, dst: usize) -> Transport {
+    if topology.machine_of(src) != topology.machine_of(dst) {
+        Transport::NicHelperThread
+    } else if topology.socket_of(src) != topology.socket_of(dst)
+        && !topology.is_nvlink_pair(src, dst)
+    {
+        Transport::PinnedHostMemory
+    } else {
+        Transport::CudaVirtualMemory
+    }
+}
+
+/// Per-flow startup overhead for a transfer between two GPU ranks.
+pub fn flow_overhead_seconds(topology: &Topology, src: usize, dst: usize) -> f64 {
+    select_transport(topology, src, dst).overhead_seconds()
+}
+
+/// Cost of the decentralized ready/done flag synchronisation between
+/// stages (§6.1). Flags are single words exchanged over peer-accessible
+/// memory, so the barrier is cheap and independent of payloads.
+pub fn stage_barrier_seconds() -> f64 {
+    10e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgcl_topology::Topology;
+
+    #[test]
+    fn same_socket_uses_cuda_vm() {
+        let topo = Topology::dgx1();
+        assert_eq!(select_transport(&topo, 0, 1), Transport::CudaVirtualMemory);
+    }
+
+    #[test]
+    fn nvlinked_cross_socket_pair_uses_cuda_vm() {
+        // GPU 0 and 4 sit under different sockets but share NVLink; peer
+        // access goes over NVLink, not pinned memory.
+        let topo = Topology::dgx1();
+        assert_eq!(select_transport(&topo, 0, 4), Transport::CudaVirtualMemory);
+    }
+
+    #[test]
+    fn cross_socket_without_nvlink_uses_pinned_memory() {
+        let topo = Topology::pcie_host(8);
+        assert_eq!(select_transport(&topo, 0, 7), Transport::PinnedHostMemory);
+    }
+
+    #[test]
+    fn cross_machine_uses_nic() {
+        let topo = Topology::dgx1_pair_ib();
+        assert_eq!(select_transport(&topo, 0, 8), Transport::NicHelperThread);
+    }
+
+    #[test]
+    fn overheads_are_ordered() {
+        assert!(
+            Transport::CudaVirtualMemory.overhead_seconds()
+                < Transport::PinnedHostMemory.overhead_seconds()
+        );
+        assert!(
+            Transport::PinnedHostMemory.overhead_seconds()
+                < Transport::NicHelperThread.overhead_seconds()
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Activation functions and their derivatives.
+
+use crate::Matrix;
+
+/// Point-wise activation functions used by the GNN layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// The identity function (no non-linearity).
+    Identity,
+    /// Rectified linear unit: `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation element-wise.
+    pub fn forward(self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        match self {
+            Activation::Identity => {}
+            Activation::Relu => {
+                for v in out.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            Activation::Tanh => {
+                for v in out.as_mut_slice() {
+                    *v = v.tanh();
+                }
+            }
+            Activation::Sigmoid => {
+                for v in out.as_mut_slice() {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+        }
+        out
+    }
+
+    /// Gradient of the activation with respect to its input.
+    ///
+    /// `output` must be the value returned by [`Activation::forward`] for the
+    /// same input; the derivative is expressed in terms of the output, which
+    /// is exact for all supported activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn backward(self, output: &Matrix, upstream: &Matrix) -> Matrix {
+        assert_eq!(
+            output.shape(),
+            upstream.shape(),
+            "activation backward shape mismatch"
+        );
+        let mut grad = upstream.clone();
+        match self {
+            Activation::Identity => {}
+            Activation::Relu => {
+                for (g, &o) in grad.as_mut_slice().iter_mut().zip(output.as_slice()) {
+                    if o <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            Activation::Tanh => {
+                for (g, &o) in grad.as_mut_slice().iter_mut().zip(output.as_slice()) {
+                    *g *= 1.0 - o * o;
+                }
+            }
+            Activation::Sigmoid => {
+                for (g, &o) in grad.as_mut_slice().iter_mut().zip(output.as_slice()) {
+                    *g *= o * (1.0 - o);
+                }
+            }
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        let y = Activation::Relu.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let x = Matrix::from_rows(&[&[-1.0, 3.0]]);
+        let y = Activation::Relu.forward(&x);
+        let up = Matrix::from_rows(&[&[5.0, 5.0]]);
+        let g = Activation::Relu.backward(&y, &up);
+        assert_eq!(g.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded() {
+        let x = Matrix::from_rows(&[&[-100.0, 0.0, 100.0]]);
+        let y = Activation::Sigmoid.forward(&x);
+        assert!(y.as_slice()[0] < 1e-6);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let x = Matrix::from_rows(&[&[0.3]]);
+        let y = Activation::Tanh.forward(&x);
+        let up = Matrix::from_rows(&[&[1.0]]);
+        let g = Activation::Tanh.backward(&y, &up);
+        let eps = 1e-3;
+        let xp = Matrix::from_rows(&[&[0.3 + eps]]);
+        let xm = Matrix::from_rows(&[&[0.3 - eps]]);
+        let fd = (Activation::Tanh.forward(&xp).as_slice()[0]
+            - Activation::Tanh.forward(&xm).as_slice()[0])
+            / (2.0 * eps);
+        assert!((g.as_slice()[0] - fd).abs() < 1e-4);
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let x = Matrix::from_rows(&[&[1.0, -2.0]]);
+        assert_eq!(Activation::Identity.forward(&x), x);
+    }
+}

@@ -1,0 +1,78 @@
+//! Random weight initialisation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Matrix;
+
+/// Xavier/Glorot uniform initialiser.
+///
+/// Samples from `U(-limit, limit)` with `limit = sqrt(6 / (fan_in + fan_out))`,
+/// the standard initialisation for GNN layer weights. All randomness flows
+/// through an explicit seed so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct XavierInit {
+    rng: StdRng,
+}
+
+impl XavierInit {
+    /// Creates an initialiser from a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples a `fan_in x fan_out` weight matrix.
+    pub fn weight(&mut self, fan_in: usize, fan_out: usize) -> Matrix {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let mut m = Matrix::zeros(fan_in, fan_out);
+        for v in m.as_mut_slice() {
+            *v = self.rng.gen_range(-limit..limit);
+        }
+        m
+    }
+
+    /// Samples a `rows x cols` feature matrix from `U(-1, 1)`, used for graphs
+    /// without input features (the paper generates 0-th layer embeddings
+    /// randomly).
+    pub fn features(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = self.rng.gen_range(-1.0..1.0);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = XavierInit::new(7).weight(4, 5);
+        let b = XavierInit::new(7).weight(4, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let a = XavierInit::new(7).weight(4, 5);
+        let b = XavierInit::new(8).weight(4, 5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn weights_respect_xavier_bound() {
+        let m = XavierInit::new(1).weight(10, 10);
+        let limit = (6.0 / 20.0_f32).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn features_are_in_unit_range() {
+        let m = XavierInit::new(3).features(20, 8);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,261 @@
+//! Linear-algebra kernels on [`Matrix`].
+
+use crate::Matrix;
+
+impl Matrix {
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams over contiguous
+    /// rows of both the output and `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let (m, k) = self.shape();
+        let n = rhs.cols();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(p);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * rhs` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            rhs.rows(),
+            "matmul_tn shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let m = self.cols();
+        let n = rhs.cols();
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..self.rows() {
+            let a_row = self.row(p);
+            let b_row = rhs.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * rhs^T` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            rhs.cols(),
+            "matmul_nt shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let m = self.rows();
+        let n = rhs.rows();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+
+    /// In-place element-wise `self += rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * rhs` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a -= b;
+        }
+        out
+    }
+
+    /// Scalar product `alpha * self`.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        let mut out = self.clone();
+        out.scale_assign(alpha);
+        out
+    }
+
+    /// In-place scalar product `self *= alpha`.
+    pub fn scale_assign(&mut self, alpha: f32) {
+        for a in self.as_mut_slice() {
+            *a *= alpha;
+        }
+    }
+
+    /// Element-wise (Hadamard) product `self .* rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a *= b;
+        }
+        out
+    }
+
+    /// Adds `bias` (a `1 x cols` row vector) to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not a single row of matching width.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), self.cols(), "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(bias.row(0)) {
+                *o += b;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])
+    }
+
+    fn b() -> Matrix {
+        Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]])
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let c = a().matmul(&b());
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let lhs = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let rhs = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert_eq!(lhs.matmul_tn(&rhs), lhs.transpose().matmul(&rhs));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let lhs = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let rhs = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0], &[9.0, 10.0]]);
+        assert_eq!(lhs.matmul_nt(&rhs), lhs.matmul(&rhs.transpose()));
+    }
+
+    #[test]
+    fn add_and_sub_are_inverse() {
+        let s = a().add(&b()).sub(&b());
+        assert_eq!(s, a());
+    }
+
+    #[test]
+    fn axpy_accumulates_scaled() {
+        let mut m = a();
+        m.axpy(2.0, &b());
+        assert_eq!(m.as_slice(), &[11.0, 14.0, 17.0, 20.0]);
+    }
+
+    #[test]
+    fn hadamard_multiplies_elementwise() {
+        let h = a().hadamard(&b());
+        assert_eq!(h.as_slice(), &[5.0, 12.0, 21.0, 32.0]);
+    }
+
+    #[test]
+    fn row_broadcast_adds_bias_to_each_row() {
+        let bias = Matrix::from_rows(&[&[10.0, 20.0]]);
+        let out = a().add_row_broadcast(&bias);
+        assert_eq!(out.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn scale_by_zero_gives_zeros() {
+        assert_eq!(a().scale(0.0), Matrix::zeros(2, 2));
+    }
+}

@@ -1,0 +1,158 @@
+//! Physical connections and their bandwidths.
+
+use crate::NodeId;
+
+/// Index of a physical connection within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+impl ConnId {
+    /// The index as `usize` for slice access.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The physical technology of a connection.
+///
+/// The default bandwidths are the measurements of Table 1 of the paper
+/// (GB/s): NV2 48.35, NV1 24.22, PCIe 11.13, QPI 9.56, IB 6.37,
+/// Ethernet 3.12. Host-memory attach points get a nominal DDR bandwidth so
+/// they are never the bottleneck (the PCIe hop is, as in NeuGraph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Two bonded NVLink bricks.
+    NvLink2,
+    /// A single NVLink brick.
+    NvLink1,
+    /// PCIe 3.0 x16.
+    Pcie,
+    /// QPI/UPI socket interconnect.
+    Qpi,
+    /// InfiniBand NIC-to-NIC.
+    Infiniband,
+    /// Ethernet NIC-to-NIC.
+    Ethernet,
+    /// CPU DRAM attach (swap staging).
+    HostDram,
+}
+
+impl LinkKind {
+    /// Default bandwidth in GB/s (Table 1 of the paper).
+    pub fn bandwidth_gbps(self) -> f64 {
+        match self {
+            LinkKind::NvLink2 => 48.35,
+            LinkKind::NvLink1 => 24.22,
+            LinkKind::Pcie => 11.13,
+            LinkKind::Qpi => 9.56,
+            LinkKind::Infiniband => 6.37,
+            LinkKind::Ethernet => 3.12,
+            LinkKind::HostDram => 64.0,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkKind::NvLink2 => "NV2",
+            LinkKind::NvLink1 => "NV1",
+            LinkKind::Pcie => "PCIe",
+            LinkKind::Qpi => "QPI",
+            LinkKind::Infiniband => "IB",
+            LinkKind::Ethernet => "Ethernet",
+            LinkKind::HostDram => "DRAM",
+        }
+    }
+
+    /// Whether the connection is an NVLink variant (for the NVLink-vs-others
+    /// breakdowns of Tables 2 and 7).
+    pub fn is_nvlink(self) -> bool {
+        matches!(self, LinkKind::NvLink1 | LinkKind::NvLink2)
+    }
+}
+
+/// An undirected, full-duplex physical connection between two nodes.
+///
+/// Full duplex means the two directions carry traffic independently; the
+/// simulator and cost model account volumes per direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysicalConn {
+    /// This connection's id.
+    pub id: ConnId,
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Technology of the connection.
+    pub kind: LinkKind,
+    /// Bandwidth per direction in GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl PhysicalConn {
+    /// The endpoint opposite to `from`, or `None` if `from` is not an
+    /// endpoint.
+    pub fn other(&self, from: NodeId) -> Option<NodeId> {
+        if from == self.a {
+            Some(self.b)
+        } else if from == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Seconds to move `bytes` across this connection uncontended.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.bandwidth_gbps * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_bandwidths() {
+        assert_eq!(LinkKind::NvLink2.bandwidth_gbps(), 48.35);
+        assert_eq!(LinkKind::NvLink1.bandwidth_gbps(), 24.22);
+        assert_eq!(LinkKind::Pcie.bandwidth_gbps(), 11.13);
+        assert_eq!(LinkKind::Qpi.bandwidth_gbps(), 9.56);
+        assert_eq!(LinkKind::Infiniband.bandwidth_gbps(), 6.37);
+        assert_eq!(LinkKind::Ethernet.bandwidth_gbps(), 3.12);
+    }
+
+    #[test]
+    fn nvlink_classification() {
+        assert!(LinkKind::NvLink1.is_nvlink());
+        assert!(LinkKind::NvLink2.is_nvlink());
+        assert!(!LinkKind::Qpi.is_nvlink());
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let c = PhysicalConn {
+            id: ConnId(0),
+            a: NodeId(1),
+            b: NodeId(2),
+            kind: LinkKind::Pcie,
+            bandwidth_gbps: 11.13,
+        };
+        assert_eq!(c.other(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(c.other(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(c.other(NodeId(3)), None);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let c = PhysicalConn {
+            id: ConnId(0),
+            a: NodeId(0),
+            b: NodeId(1),
+            kind: LinkKind::Qpi,
+            bandwidth_gbps: 10.0,
+        };
+        let t = c.transfer_seconds(10_000_000_000);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+}

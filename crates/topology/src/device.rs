@@ -1,0 +1,101 @@
+//! Device nodes of the topology graph.
+
+/// Index of a node within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as `usize` for slice access.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The kind of a device node.
+///
+/// `machine` numbers machines in a cluster; `socket` numbers CPU sockets
+/// (NUMA nodes) within a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A GPU; `rank` is its global rank used by the planner.
+    Gpu {
+        /// Global GPU rank (0-based, dense).
+        rank: u32,
+        /// Machine the GPU belongs to.
+        machine: u32,
+        /// CPU socket the GPU hangs off.
+        socket: u32,
+    },
+    /// A CPU socket (NUMA node).
+    CpuSocket {
+        /// Machine the socket belongs to.
+        machine: u32,
+        /// Socket index within the machine.
+        socket: u32,
+    },
+    /// A PCIe switch.
+    PcieSwitch {
+        /// Machine the switch belongs to.
+        machine: u32,
+    },
+    /// A network interface card.
+    Nic {
+        /// Machine the NIC belongs to.
+        machine: u32,
+    },
+    /// Host (CPU) memory attached to a socket, used by the swap baseline.
+    HostMemory {
+        /// Machine the memory belongs to.
+        machine: u32,
+        /// Socket the memory is local to.
+        socket: u32,
+    },
+}
+
+impl NodeKind {
+    /// The machine this node belongs to.
+    pub fn machine(self) -> u32 {
+        match self {
+            NodeKind::Gpu { machine, .. }
+            | NodeKind::CpuSocket { machine, .. }
+            | NodeKind::PcieSwitch { machine }
+            | NodeKind::Nic { machine }
+            | NodeKind::HostMemory { machine, .. } => machine,
+        }
+    }
+
+    /// Whether the node is a GPU.
+    pub fn is_gpu(self) -> bool {
+        matches!(self, NodeKind::Gpu { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_extraction() {
+        assert_eq!(NodeKind::Nic { machine: 3 }.machine(), 3);
+        assert_eq!(
+            NodeKind::Gpu {
+                rank: 0,
+                machine: 1,
+                socket: 0
+            }
+            .machine(),
+            1
+        );
+    }
+
+    #[test]
+    fn gpu_detection() {
+        assert!(NodeKind::Gpu {
+            rank: 0,
+            machine: 0,
+            socket: 0
+        }
+        .is_gpu());
+        assert!(!NodeKind::PcieSwitch { machine: 0 }.is_gpu());
+    }
+}

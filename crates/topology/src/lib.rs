@@ -1,0 +1,36 @@
+//! Hardware communication topology model.
+//!
+//! Models the device graphs of modern GPU servers (Figure 3 of the paper):
+//! GPUs, CPU sockets, PCIe switches, NICs and host memory as nodes, and
+//! physical connections (NVLink, PCIe, QPI, InfiniBand, Ethernet) as edges
+//! with the measured bandwidths of Table 1.
+//!
+//! A *link* between two GPUs is the path of physical connections that a
+//! direct peer-to-peer transfer would take — never relayed through another
+//! GPU; multi-GPU forwarding is a planning-level decision made by
+//! `dgcl-plan`, not a property of the hardware.
+//!
+//! # Examples
+//!
+//! ```
+//! use dgcl_topology::Topology;
+//!
+//! let topo = Topology::dgx1();
+//! assert_eq!(topo.num_gpus(), 8);
+//! // GPUs 0 and 1 share an NVLink; the route is a single hop.
+//! assert_eq!(topo.route(0, 1).hops.len(), 1);
+//! // GPUs 0 and 4 sit under different sockets in the PCIe tree but are
+//! // connected directly with two NVLink bricks.
+//! assert_eq!(topo.route(0, 4).hops.len(), 1);
+//! ```
+
+mod builders;
+mod conn;
+mod device;
+mod route;
+mod topology;
+
+pub use conn::{ConnId, LinkKind, PhysicalConn};
+pub use device::{NodeId, NodeKind};
+pub use route::{DirectedHop, Route};
+pub use topology::Topology;

@@ -1,0 +1,55 @@
+//! Routes: the physical path realising a GPU-to-GPU link.
+
+use crate::ConnId;
+
+/// One physical connection traversed in a specific direction.
+///
+/// `forward` is true when traffic flows from the connection's `a` endpoint
+/// to its `b` endpoint. The two directions of a full-duplex connection are
+/// independent capacity, so contention accounting keys on `(conn, forward)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirectedHop {
+    /// The physical connection.
+    pub conn: ConnId,
+    /// Direction of traversal (`a -> b` when true).
+    pub forward: bool,
+}
+
+/// The physical path a direct GPU-to-GPU transfer takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Directed physical hops from source to destination, in order.
+    pub hops: Vec<DirectedHop>,
+    /// Bottleneck bandwidth of the path in GB/s.
+    pub bottleneck_gbps: f64,
+}
+
+impl Route {
+    /// Whether this route uses no physical connections (source equals
+    /// destination).
+    pub fn is_local(&self) -> bool {
+        self.hops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_route_detection() {
+        let local = Route {
+            hops: vec![],
+            bottleneck_gbps: f64::INFINITY,
+        };
+        assert!(local.is_local());
+        let hop = Route {
+            hops: vec![DirectedHop {
+                conn: ConnId(0),
+                forward: true,
+            }],
+            bottleneck_gbps: 10.0,
+        };
+        assert!(!hop.is_local());
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the DGCL reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests under
+//! `tests/` and the runnable examples under `examples/`. The library
+//! surface simply re-exports the workspace crates so that examples can
+//! use one coherent namespace.
+
+pub use dgcl;
+pub use dgcl_gnn as gnn;
+pub use dgcl_graph as graph;
+pub use dgcl_partition as partition;
+pub use dgcl_plan as plan;
+pub use dgcl_sim as sim;
+pub use dgcl_tensor as tensor;
+pub use dgcl_topology as topology;

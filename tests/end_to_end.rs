@@ -1,0 +1,101 @@
+//! End-to-end integration: generate → partition → plan → execute →
+//! verify, across datasets and topologies.
+
+use dgcl::{build_comm_info, run_cluster, BuildOptions};
+use dgcl_graph::Dataset;
+use dgcl_plan::plan::validate_plan;
+use dgcl_tensor::Matrix;
+use dgcl_topology::Topology;
+
+/// Runs the full pipeline for one (dataset, topology) pair and checks
+/// that the allgather delivers exactly the communication relation.
+fn pipeline(dataset: Dataset, topology: Topology, seed: u64) {
+    let graph = dataset.generate(0.0008, seed);
+    let info = build_comm_info(
+        &graph,
+        topology,
+        BuildOptions {
+            seed,
+            ..BuildOptions::default()
+        },
+    );
+    validate_plan(&info.plan, &info.pg).expect("plan must satisfy every demand");
+    // Identity-coded embeddings: row v = [v].
+    let n = graph.num_vertices();
+    let mut features = Matrix::zeros(n, 1);
+    for v in 0..n {
+        features.row_mut(v)[0] = v as f32;
+    }
+    let per_device = info.dispatch_features(&features);
+    let gathered = run_cluster(&info, |handle| {
+        handle.graph_allgather(&per_device[handle.rank])
+    });
+    for (d, full) in gathered.iter().enumerate() {
+        let lg = info.pg.local_graph(d);
+        for (li, &v) in lg.global_ids.iter().enumerate() {
+            assert_eq!(full.row(li)[0], v as f32, "device {d}, vertex {v}");
+        }
+    }
+}
+
+#[test]
+fn web_google_on_dgx1() {
+    pipeline(Dataset::WebGoogle, Topology::dgx1(), 1);
+}
+
+#[test]
+fn wiki_talk_on_fig6() {
+    pipeline(Dataset::WikiTalk, Topology::fig6(), 2);
+}
+
+#[test]
+fn reddit_on_pcie_host() {
+    pipeline(Dataset::Reddit, Topology::pcie_host(8), 3);
+}
+
+#[test]
+fn com_orkut_on_two_machines() {
+    pipeline(Dataset::ComOrkut, Topology::dgx1_pair_ib(), 4);
+}
+
+#[test]
+fn wiki_talk_on_two_gpus() {
+    pipeline(Dataset::WikiTalk, Topology::dgx1_subset(2), 5);
+}
+
+#[test]
+fn plan_reuse_across_layers_is_consistent() {
+    // The same CommInfo serves multiple allgathers with different widths
+    // (the paper reuses the tables for every layer).
+    let graph = Dataset::WebGoogle.generate(0.0008, 9);
+    let info = build_comm_info(&graph, Topology::fig6(), BuildOptions::default());
+    let n = graph.num_vertices();
+    for width in [1usize, 7, 32] {
+        let mut features = Matrix::zeros(n, width);
+        for v in 0..n {
+            for c in 0..width {
+                features[(v, c)] = (v * 31 + c) as f32;
+            }
+        }
+        let per_device = info.dispatch_features(&features);
+        let gathered = run_cluster(&info, |handle| {
+            handle.graph_allgather(&per_device[handle.rank])
+        });
+        for (d, full) in gathered.iter().enumerate() {
+            let lg = info.pg.local_graph(d);
+            for (li, &v) in lg.global_ids.iter().enumerate() {
+                for c in 0..width {
+                    assert_eq!(full[(li, c)], (v as usize * 31 + c) as f32);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn estimated_cost_is_positive_and_finite() {
+    let graph = Dataset::WikiTalk.generate(0.001, 6);
+    let info = build_comm_info(&graph, Topology::dgx1(), BuildOptions::default());
+    assert!(info.estimated_allgather_seconds.is_finite());
+    assert!(info.estimated_allgather_seconds > 0.0);
+}

@@ -1,0 +1,87 @@
+//! Property-based tests on the partitioner and the communication
+//! relation.
+
+use dgcl_graph::generators::{barabasi_albert, erdos_renyi};
+use dgcl_partition::metrics::{balance, edge_cut, part_sizes};
+use dgcl_partition::multilevel::{kway, DEFAULT_IMBALANCE};
+use dgcl_partition::PartitionedGraph;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kway_covers_all_vertices(n in 32usize..300, k in 2usize..8, seed in any::<u64>()) {
+        let graph = erdos_renyi(n, n * 3, seed);
+        let parts = kway(&graph, k, seed);
+        prop_assert_eq!(parts.len(), n);
+        prop_assert!(parts.iter().all(|&p| (p as usize) < k));
+    }
+
+    #[test]
+    fn kway_respects_balance(n in 64usize..400, k in 2usize..8, seed in any::<u64>()) {
+        let graph = barabasi_albert(n, 2, seed);
+        let parts = kway(&graph, k, seed);
+        // The partitioner enforces max part weight of
+        // ceil(ideal * imbalance) + 1; derive the bound the same way.
+        let ideal = n as f64 / k as f64;
+        let bound = ((ideal * DEFAULT_IMBALANCE).ceil() + 1.0) / ideal;
+        prop_assert!(balance(&parts, k) <= bound + 1e-9,
+            "balance {} above {}", balance(&parts, k), bound);
+    }
+
+    #[test]
+    fn edge_cut_bounded_by_edges(n in 32usize..200, seed in any::<u64>()) {
+        let graph = erdos_renyi(n, n * 2, seed);
+        let parts = kway(&graph, 4, seed);
+        prop_assert!(edge_cut(&graph, &parts) <= graph.num_edges());
+    }
+
+    #[test]
+    fn relation_demands_partition_the_remote_sets(n in 32usize..200, seed in any::<u64>()) {
+        let graph = erdos_renyi(n, n * 2, seed);
+        let parts = kway(&graph, 4, seed);
+        let pg = PartitionedGraph::new(&graph, parts, 4);
+        // remote[j] must equal the disjoint union of demands[i][j] over i.
+        for j in 0..4 {
+            let mut union: Vec<u32> = (0..4).flat_map(|i| pg.demands[i][j].clone()).collect();
+            union.sort_unstable();
+            prop_assert_eq!(&union, &pg.remote[j]);
+        }
+    }
+
+    #[test]
+    fn local_sets_partition_the_graph(n in 32usize..200, seed in any::<u64>()) {
+        let graph = erdos_renyi(n, n * 2, seed);
+        let parts = kway(&graph, 4, seed);
+        let pg = PartitionedGraph::new(&graph, parts.clone(), 4);
+        let sizes = part_sizes(&parts, 4);
+        for (d, size) in sizes.iter().enumerate() {
+            prop_assert_eq!(pg.local[d].len(), *size);
+        }
+        let total: usize = pg.local.iter().map(|l| l.len()).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn local_graphs_preserve_all_edges(n in 32usize..150, seed in any::<u64>()) {
+        let graph = erdos_renyi(n, n * 2, seed);
+        let parts = kway(&graph, 4, seed);
+        let pg = PartitionedGraph::new(&graph, parts, 4);
+        let local_total: usize = (0..4).map(|d| pg.local_graph(d).graph.num_edges()).sum();
+        prop_assert_eq!(local_total, graph.num_edges());
+    }
+
+    #[test]
+    fn multicast_demands_match_pairwise_demands(n in 32usize..150, seed in any::<u64>()) {
+        let graph = barabasi_albert(n, 2, seed);
+        let parts = kway(&graph, 4, seed);
+        let pg = PartitionedGraph::new(&graph, parts, 4);
+        let total_from_multicast: usize = pg
+            .multicast_demands()
+            .iter()
+            .map(|(_, _, dsts)| dsts.len())
+            .sum();
+        prop_assert_eq!(total_from_multicast, pg.total_demand());
+    }
+}

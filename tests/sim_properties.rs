@@ -1,0 +1,115 @@
+//! Property-based tests on the network simulator and cost model.
+
+use dgcl_plan::CommPlan;
+use dgcl_sim::network::{simulate_flows, simulate_plan};
+use dgcl_sim::Flow;
+use dgcl_topology::Topology;
+use proptest::prelude::*;
+
+/// Random single-stage flow sets on the Figure 6 topology.
+fn arb_flows() -> impl Strategy<Value = Vec<(usize, usize, u64)>> {
+    proptest::collection::vec(
+        (0usize..4, 0usize..4, 1u64..50_000_000).prop_filter("distinct", |(s, d, _)| s != d),
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn makespan_at_least_uncontended_time(specs in arb_flows()) {
+        let topo = Topology::fig6();
+        let flows: Vec<Flow> = specs
+            .iter()
+            .enumerate()
+            .map(|(tag, &(s, d, bytes))| Flow {
+                route: topo.route(s, d).clone(),
+                bytes,
+                overhead_seconds: 0.0,
+                tag,
+            })
+            .collect();
+        let (t, completions) = simulate_flows(&topo, &flows);
+        for (flow, &(s, d, bytes)) in flows.iter().zip(&specs) {
+            let uncontended = bytes as f64 / (topo.route(s, d).bottleneck_gbps * 1e9);
+            let done = completions
+                .iter()
+                .find(|&&(tag, _)| tag == flow.tag)
+                .map(|&(_, t)| t)
+                .unwrap_or(0.0);
+            prop_assert!(done + 1e-12 >= uncontended,
+                "flow {}->{} finished faster than physics: {} < {}", s, d, done, uncontended);
+        }
+        // Makespan is the slowest completion.
+        let max = completions.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+        prop_assert!((t - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_at_most_serialized_time(specs in arb_flows()) {
+        // Fair sharing can never be slower than running all flows one
+        // after another at their bottleneck rates.
+        let topo = Topology::fig6();
+        let flows: Vec<Flow> = specs
+            .iter()
+            .enumerate()
+            .map(|(tag, &(s, d, bytes))| Flow {
+                route: topo.route(s, d).clone(),
+                bytes,
+                overhead_seconds: 0.0,
+                tag,
+            })
+            .collect();
+        let (t, _) = simulate_flows(&topo, &flows);
+        let serial: f64 = specs
+            .iter()
+            .map(|&(s, d, bytes)| bytes as f64 / (topo.route(s, d).bottleneck_gbps * 1e9))
+            .sum();
+        prop_assert!(t <= serial + 1e-9, "parallel {} > serial {}", t, serial);
+    }
+
+    #[test]
+    fn adding_a_flow_never_speeds_up_the_stage(specs in arb_flows()) {
+        let topo = Topology::fig6();
+        let make = |count: usize| -> Vec<Flow> {
+            specs[..count]
+                .iter()
+                .enumerate()
+                .map(|(tag, &(s, d, bytes))| Flow {
+                    route: topo.route(s, d).clone(),
+                    bytes,
+                    overhead_seconds: 0.0,
+                    tag,
+                })
+                .collect()
+        };
+        let (t_all, _) = simulate_flows(&topo, &make(specs.len()));
+        let (t_fewer, _) = simulate_flows(&topo, &make(specs.len() - 1));
+        prop_assert!(t_all + 1e-12 >= t_fewer,
+            "removing a flow increased the makespan: {} -> {}", t_fewer, t_all);
+    }
+
+    #[test]
+    fn cost_model_and_simulator_agree_within_bounds(specs in arb_flows()) {
+        // For a single-stage plan with no overheads, the staged cost
+        // model (max over hops of aggregated volume) lower-bounds the
+        // fluid simulation, and the simulation stays within the
+        // serialized upper bound.
+        let topo = Topology::fig6();
+        let edges: Vec<(u32, usize, usize, usize)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d, _))| (i as u32, s, d, 0))
+            .collect();
+        let plan = CommPlan::from_edges(4, edges);
+        let bytes = 1_000_000u64;
+        let est = plan.estimated_time(&topo, bytes);
+        let act = simulate_plan(&plan, &topo, bytes).total_seconds;
+        // The simulator adds per-flow overheads and a stage barrier; both
+        // are bounded by 1 ms here.
+        prop_assert!(act + 1e-12 >= est, "simulated {} below model bound {}", act, est);
+        prop_assert!(act <= est * specs.len() as f64 + 2e-3,
+            "simulated {} too far above model {}", act, est);
+    }
+}

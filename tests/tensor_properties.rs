@@ -1,0 +1,75 @@
+//! Property-based tests on the tensor substrate: algebraic identities the
+//! GNN backward passes rely on.
+
+use dgcl_tensor::Matrix;
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 2),
+        c in arb_matrix(4, 2),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_tn_is_transpose_matmul(a in arb_matrix(4, 3), b in arb_matrix(4, 2)) {
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_is_matmul_transpose(a in arb_matrix(3, 4), b in arb_matrix(2, 4)) {
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn identity_is_neutral(a in arb_matrix(3, 3)) {
+        prop_assert!(a.matmul(&Matrix::eye(3)).max_abs_diff(&a) < 1e-6);
+        prop_assert!(Matrix::eye(3).matmul(&a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn hstack_split_round_trips(a in arb_matrix(3, 2), b in arb_matrix(3, 4)) {
+        let joined = a.hstack(&b);
+        let (left, right) = joined.split_cols(2);
+        prop_assert_eq!(left, a);
+        prop_assert_eq!(right, b);
+    }
+
+    #[test]
+    fn transpose_preserves_frobenius_norm(a in arb_matrix(4, 5)) {
+        prop_assert!((a.norm_sq() - a.transpose().norm_sq()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gather_rows_selects_correctly(a in arb_matrix(5, 3), idx in proptest::collection::vec(0usize..5, 1..8)) {
+        let g = a.gather_rows(&idx);
+        prop_assert_eq!(g.rows(), idx.len());
+        for (out_row, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(out_row), a.row(src));
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scale_and_add(a in arb_matrix(3, 3), b in arb_matrix(3, 3), alpha in -5.0f32..5.0) {
+        let mut x = a.clone();
+        x.axpy(alpha, &b);
+        let y = a.add(&b.scale(alpha));
+        prop_assert!(x.max_abs_diff(&y) < 1e-4);
+    }
+}

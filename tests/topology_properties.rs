@@ -1,0 +1,117 @@
+//! Property-based tests on topology routing.
+
+use dgcl_topology::{LinkKind, NodeKind, Topology};
+use proptest::prelude::*;
+
+/// A random connected topology: GPUs hang off switches under one socket,
+/// with NVLink shortcuts between odd/even GPU pairs.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (2usize..9, 1usize..4, any::<bool>()).prop_map(|(gpus, switches, shortcuts)| {
+        let mut b = Topology::builder("random");
+        let cpu = b.add_node(NodeKind::CpuSocket {
+            machine: 0,
+            socket: 0,
+        });
+        let sw: Vec<_> = (0..switches)
+            .map(|_| {
+                let s = b.add_node(NodeKind::PcieSwitch { machine: 0 });
+                b.connect(cpu, s, LinkKind::Pcie);
+                s
+            })
+            .collect();
+        let mut gpu_nodes = Vec::new();
+        for rank in 0..gpus {
+            let g = b.add_node(NodeKind::Gpu {
+                rank: rank as u32,
+                machine: 0,
+                socket: 0,
+            });
+            b.connect(g, sw[rank % switches], LinkKind::Pcie);
+            if shortcuts && rank % 2 == 1 {
+                b.connect(g, gpu_nodes[rank - 1], LinkKind::NvLink1);
+            }
+            gpu_nodes.push(g);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn routes_are_symmetric_in_bottleneck(topo in arb_topology()) {
+        for a in 0..topo.num_gpus() {
+            for b in 0..topo.num_gpus() {
+                if a == b {
+                    // Local routes have an infinite bottleneck; the
+                    // difference of two infinities is NaN, so compare
+                    // the non-local pairs only.
+                    continue;
+                }
+                let fwd = topo.route(a, b);
+                let bwd = topo.route(b, a);
+                prop_assert_eq!(fwd.hops.len(), bwd.hops.len());
+                prop_assert!((fwd.bottleneck_gbps - bwd.bottleneck_gbps).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn routes_never_relay_through_gpus(topo in arb_topology()) {
+        for a in 0..topo.num_gpus() {
+            for b in 0..topo.num_gpus() {
+                if a == b {
+                    continue;
+                }
+                let route = topo.route(a, b);
+                // Walk the path; interior nodes must not be GPUs.
+                let mut node = topo.gpu_node(a);
+                for (i, hop) in route.hops.iter().enumerate() {
+                    let conn = topo.conn(hop.conn);
+                    node = conn.other(node).expect("path is connected");
+                    let interior = i + 1 < route.hops.len();
+                    if interior {
+                        prop_assert!(!topo.node(node).is_gpu(),
+                            "route {}->{} relays through a GPU", a, b);
+                    }
+                }
+                prop_assert_eq!(node, topo.gpu_node(b));
+            }
+        }
+    }
+
+    #[test]
+    fn bottleneck_equals_min_hop_bandwidth(topo in arb_topology()) {
+        for a in 0..topo.num_gpus() {
+            for b in 0..topo.num_gpus() {
+                if a == b {
+                    continue;
+                }
+                let route = topo.route(a, b);
+                let min = route
+                    .hops
+                    .iter()
+                    .map(|h| topo.conn(h.conn).bandwidth_gbps)
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!((route.bottleneck_gbps - min).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn nvlinked_neighbours_take_the_direct_link(topo in arb_topology()) {
+        // Wherever an NVLink shortcut exists, the route uses it (it is
+        // strictly wider than any PCIe path).
+        for a in 0..topo.num_gpus() {
+            for b in 0..topo.num_gpus() {
+                if a == b {
+                    continue;
+                }
+                if topo.is_nvlink_pair(a, b) {
+                    prop_assert_eq!(topo.route(a, b).hops.len(), 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration-level training parity: distributed training over the full
+//! communication stack must match single-device training across
+//! architectures, topologies and widths.
+
+use dgcl::trainer::{train_distributed, train_single, TrainConfig};
+use dgcl::{build_comm_info, BuildOptions};
+use dgcl_gnn::Architecture;
+use dgcl_graph::Dataset;
+use dgcl_tensor::XavierInit;
+use dgcl_topology::Topology;
+
+fn check_parity(
+    dataset: Dataset,
+    topology: Topology,
+    arch: Architecture,
+    dims: &[usize],
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+) {
+    let graph = dataset.generate(0.0008, seed);
+    let n = graph.num_vertices();
+    let info = build_comm_info(
+        &graph,
+        topology,
+        BuildOptions {
+            seed,
+            ..BuildOptions::default()
+        },
+    );
+    let mut init = XavierInit::new(seed);
+    let features = init.features(n, dims[0]);
+    let targets = init.features(n, *dims.last().expect("non-empty dims"));
+    let mut cfg = TrainConfig::new(arch, dims, epochs);
+    cfg.lr = lr;
+    let single = train_single(&graph, &features, &targets, &cfg);
+    let dist = train_distributed(&info, &graph, &features, &targets, &cfg);
+    for (e, (a, b)) in single
+        .epoch_losses
+        .iter()
+        .zip(&dist.epoch_losses)
+        .enumerate()
+    {
+        assert!(
+            (a - b).abs() <= 2e-2 * a.abs().max(1.0),
+            "epoch {e}: {a} vs {b}"
+        );
+    }
+    let diff = single.outputs.max_abs_diff(&dist.outputs);
+    assert!(diff < 1e-2, "outputs diverged by {diff}");
+}
+
+#[test]
+fn gcn_three_layers_on_dgx1() {
+    check_parity(
+        Dataset::WebGoogle,
+        Topology::dgx1(),
+        Architecture::Gcn,
+        &[12, 8, 6, 4],
+        3,
+        5e-4,
+        41,
+    );
+}
+
+#[test]
+fn commnet_on_pcie_host() {
+    check_parity(
+        Dataset::WikiTalk,
+        Topology::pcie_host(8),
+        Architecture::CommNet,
+        &[8, 8, 4],
+        3,
+        5e-4,
+        42,
+    );
+}
+
+#[test]
+fn gin_on_fig6() {
+    check_parity(
+        Dataset::WikiTalk,
+        Topology::fig6(),
+        Architecture::Gin,
+        &[6, 6, 3],
+        2,
+        1e-6,
+        43,
+    );
+}
+
+#[test]
+fn gcn_on_sixteen_gpus_across_machines() {
+    check_parity(
+        Dataset::WikiTalk,
+        Topology::dgx1_pair_ib(),
+        Architecture::Gcn,
+        &[8, 4],
+        2,
+        5e-4,
+        44,
+    );
+}
+
+#[test]
+fn single_device_cluster_is_trivially_exact() {
+    let graph = Dataset::WebGoogle.generate(0.0008, 45);
+    let n = graph.num_vertices();
+    let info = build_comm_info(&graph, Topology::dgx1_subset(1), BuildOptions::default());
+    let mut init = XavierInit::new(45);
+    let features = init.features(n, 8);
+    let targets = init.features(n, 4);
+    let cfg = TrainConfig::new(Architecture::Gcn, &[8, 4], 3);
+    let single = train_single(&graph, &features, &targets, &cfg);
+    let dist = train_distributed(&info, &graph, &features, &targets, &cfg);
+    // One device: results must be bit-identical, not just close.
+    assert_eq!(single.epoch_losses, dist.epoch_losses);
+    assert_eq!(single.outputs, dist.outputs);
+}
