@@ -1,9 +1,14 @@
 //! Criterion bench for the SPST planner (Table 8's measurement).
+//!
+//! Benchmarks the exact sequential planner against the batched fast
+//! path (`SpstConfig::batched`) at one and several threads, so the
+//! demand-class-reuse win and the thread-scaling win are visible
+//! separately.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dgcl_bench::RunContext;
 use dgcl_graph::Dataset;
-use dgcl_plan::spst_plan;
+use dgcl_plan::{spst_plan, spst_plan_with_config, SpstConfig};
 use dgcl_sim::epoch::partition_for;
 use dgcl_topology::Topology;
 
@@ -16,9 +21,25 @@ fn bench_spst(c: &mut Criterion) {
         for gpus in [4usize, 8] {
             let topo = Topology::for_gpu_count(gpus);
             let pg = partition_for(&graph, &topo, ctx.seed);
-            group.bench_with_input(BenchmarkId::new(dataset.name(), gpus), &gpus, |b, _| {
-                b.iter(|| spst_plan(&pg, &topo, 1024, 42))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-seq", dataset.name()), gpus),
+                &gpus,
+                |b, _| b.iter(|| spst_plan(&pg, &topo, 1024, 42)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-batched1", dataset.name()), gpus),
+                &gpus,
+                |b, _| {
+                    b.iter(|| spst_plan_with_config(&pg, &topo, 1024, 42, SpstConfig::batched(1)))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-batched4", dataset.name()), gpus),
+                &gpus,
+                |b, _| {
+                    b.iter(|| spst_plan_with_config(&pg, &topo, 1024, 42, SpstConfig::batched(4)))
+                },
+            );
         }
     }
     group.finish();

@@ -35,7 +35,7 @@ pub mod multilevel;
 pub mod relation;
 pub mod simple;
 
-pub use relation::PartitionedGraph;
+pub use relation::{DemandClass, PartitionedGraph};
 
 /// A partition assignment: `partition[v]` is the part (GPU rank) of vertex
 /// `v`.

@@ -11,6 +11,20 @@ use dgcl_graph::{CsrGraph, VertexId};
 
 use crate::Partition;
 
+/// One multicast equivalence class: every vertex in `vertices` is owned
+/// by part `src` and must reach exactly the parts in `dsts` (sorted
+/// ascending). Produced by
+/// [`PartitionedGraph::grouped_multicast_demands`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DemandClass {
+    /// Owning part of every member vertex.
+    pub src: u32,
+    /// Destination parts, sorted ascending, never containing `src`.
+    pub dsts: Vec<u32>,
+    /// Member vertices, ascending.
+    pub vertices: Vec<VertexId>,
+}
+
 /// A graph partitioned across `num_parts` devices, with the derived
 /// communication relation.
 #[derive(Debug, Clone)]
@@ -152,9 +166,8 @@ impl PartitionedGraph {
     pub fn multicast_demands(&self) -> Vec<(VertexId, u32, Vec<u32>)> {
         let n = self.partition.len();
         let mut dests: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (i, row) in self.demands.iter().enumerate() {
+        for row in &self.demands {
             for (j, vs) in row.iter().enumerate() {
-                let _ = i;
                 for &v in vs {
                     dests[v as usize].push(j as u32);
                 }
@@ -169,6 +182,37 @@ impl PartitionedGraph {
                 (v as VertexId, self.partition[v], d)
             })
             .collect()
+    }
+
+    /// [`PartitionedGraph::multicast_demands`] grouped by multicast
+    /// signature: all vertices sharing a `(source part, destination
+    /// parts)` pair form one [`DemandClass`].
+    ///
+    /// A partition onto `k` parts admits at most `k * 2^(k-1)` distinct
+    /// signatures, so on real graphs thousands of vertices collapse into
+    /// a few hundred classes — the SPST planner exploits this to reuse
+    /// one planned tree across a whole class. Classes are sorted by
+    /// `(src, dsts)` and their member vertices ascending, so the result
+    /// is deterministic.
+    pub fn grouped_multicast_demands(&self) -> Vec<DemandClass> {
+        use std::collections::HashMap;
+        let mut index: HashMap<(u32, Vec<u32>), usize> = HashMap::new();
+        let mut classes: Vec<DemandClass> = Vec::new();
+        for (v, src, dsts) in self.multicast_demands() {
+            match index.get(&(src, dsts.clone())) {
+                Some(&c) => classes[c].vertices.push(v),
+                None => {
+                    index.insert((src, dsts.clone()), classes.len());
+                    classes.push(DemandClass {
+                        src,
+                        dsts,
+                        vertices: vec![v],
+                    });
+                }
+            }
+        }
+        classes.sort_by(|a, b| (a.src, &a.dsts).cmp(&(b.src, &b.dsts)));
+        classes
     }
 
     /// Total number of vertex embeddings crossing partitions per layer
@@ -319,6 +363,57 @@ mod tests {
             assert_eq!(pg.owner(*v), *src);
             assert!(!dsts.contains(src));
         }
+    }
+
+    #[test]
+    fn grouped_demands_partition_the_multicast_set() {
+        let g = fig1_graph();
+        let pg = PartitionedGraph::new(&g, fig1_partition(), 4);
+        let flat = pg.multicast_demands();
+        let grouped = pg.grouped_multicast_demands();
+        // Every flat demand appears in exactly one class with a matching
+        // signature.
+        let total: usize = grouped.iter().map(|c| c.vertices.len()).sum();
+        assert_eq!(total, flat.len());
+        for class in &grouped {
+            assert!(!class.dsts.contains(&class.src));
+            assert!(class.dsts.windows(2).all(|w| w[0] < w[1]));
+            assert!(class.vertices.windows(2).all(|w| w[0] < w[1]));
+            for &v in &class.vertices {
+                let (_, src, dsts) = flat
+                    .iter()
+                    .find(|(fv, _, _)| *fv == v)
+                    .expect("class member is a demand");
+                assert_eq!(*src, class.src);
+                assert_eq!(*dsts, class.dsts);
+            }
+        }
+        // Signatures are unique and sorted.
+        let sigs: Vec<_> = grouped.iter().map(|c| (c.src, c.dsts.clone())).collect();
+        let mut sorted = sigs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sigs, sorted);
+    }
+
+    #[test]
+    fn grouped_demands_merge_shared_signatures() {
+        // Two hub vertices on part 0 with identical destination sets must
+        // land in one class.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        b.add_edge(1, 2);
+        b.add_edge(1, 3);
+        let g = b.build_symmetric();
+        let pg = PartitionedGraph::new(&g, vec![0, 0, 1, 1], 2);
+        let grouped = pg.grouped_multicast_demands();
+        let class0 = grouped
+            .iter()
+            .find(|c| c.src == 0)
+            .expect("part 0 has demands");
+        assert_eq!(class0.vertices, vec![0, 1]);
+        assert_eq!(class0.dsts, vec![1]);
     }
 
     #[test]

@@ -26,10 +26,14 @@ use dgcl_topology::{Route, Topology};
 /// hops.
 #[derive(Debug, Clone)]
 pub struct CostState {
-    /// Bandwidth in bytes/second per directed hop slot.
-    hop_bandwidth: Vec<f64>,
-    /// `bytes[stage][hop_slot]`.
-    bytes: Vec<Vec<u64>>,
+    /// Reciprocal bandwidth in seconds/byte per directed hop slot
+    /// (multiplying by the reciprocal keeps the hot delta/add loops free
+    /// of hardware divides).
+    hop_inv_bandwidth: Vec<f64>,
+    /// Flattened `bytes[stage * num_slots + hop_slot]` volumes.
+    bytes: Vec<u64>,
+    /// Directed hop slots per stage (two per physical connection).
+    num_slots: usize,
     /// Cached per-stage maxima (seconds).
     stage_time: Vec<f64>,
 }
@@ -39,20 +43,64 @@ fn slot(conn_index: usize, forward: bool) -> usize {
     conn_index * 2 + usize::from(forward)
 }
 
+/// Reusable aggregation state for [`CostState::delta_many_slots`]:
+/// epoch-stamped per-`(stage, slot)` byte accumulators and per-stage
+/// running maxima, reset in `O(1)` by bumping the epoch.
+#[derive(Debug, Clone)]
+pub struct PriceScratch {
+    epoch: u64,
+    stamp: Vec<u64>,
+    added: Vec<u64>,
+    touched: Vec<usize>,
+    stage_stamp: Vec<u64>,
+    stage_max: Vec<f64>,
+}
+
+/// Undo log for [`CostState::add_logged`] / [`CostState::revert`].
+///
+/// Reusable across trees: [`CostState::revert`] drains it, so a worker
+/// keeps one log alive and pays no allocation after the first tree.
+#[derive(Debug, Clone, Default)]
+pub struct CostLog {
+    /// `(stage, stage_time before the add)`, one per logged add.
+    stages: Vec<(usize, f64)>,
+    /// `(stage, slot, bytes)` per touched hop.
+    hops: Vec<(usize, usize, u64)>,
+}
+
+impl CostLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when there is nothing to revert.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty() && self.hops.is_empty()
+    }
+
+    /// Forgets the recorded adds without undoing them (keep the commit).
+    pub fn clear(&mut self) {
+        self.stages.clear();
+        self.hops.clear();
+    }
+}
+
 impl CostState {
     /// Creates an empty cost state for `topology` with `max_stages` stages
     /// (a communication tree over `m` GPUs has at most `m - 1` stages).
     pub fn new(topology: &Topology, max_stages: usize) -> Self {
         let slots = topology.conns().len() * 2;
-        let mut hop_bandwidth = vec![0.0; slots];
+        let mut hop_inv_bandwidth = vec![0.0; slots];
         for conn in topology.conns() {
-            let bw = conn.bandwidth_gbps * 1e9;
-            hop_bandwidth[slot(conn.id.index(), false)] = bw;
-            hop_bandwidth[slot(conn.id.index(), true)] = bw;
+            let inv = 1.0 / (conn.bandwidth_gbps * 1e9);
+            hop_inv_bandwidth[slot(conn.id.index(), false)] = inv;
+            hop_inv_bandwidth[slot(conn.id.index(), true)] = inv;
         }
         Self {
-            hop_bandwidth,
-            bytes: vec![vec![0; slots]; max_stages],
+            hop_inv_bandwidth,
+            bytes: vec![0; slots * max_stages],
+            num_slots: slots,
             stage_time: vec![0.0; max_stages],
         }
     }
@@ -83,16 +131,209 @@ impl CostState {
     ///
     /// Panics if `stage` is out of range.
     pub fn delta(&self, stage: usize, route: &Route, bytes: u64) -> f64 {
-        let volumes = &self.bytes[stage];
+        let volumes = &self.bytes[stage * self.num_slots..];
         let mut new_max = self.stage_time[stage];
         for hop in &route.hops {
             let s = slot(hop.conn.index(), hop.forward);
-            let t = (volumes[s] + bytes) as f64 / self.hop_bandwidth[s];
+            let t = (volumes[s] + bytes) as f64 * self.hop_inv_bandwidth[s];
             if t > new_max {
                 new_max = t;
             }
         }
         new_max - self.stage_time[stage]
+    }
+
+    /// [`CostState::delta`] over a pre-resolved directed hop slot list
+    /// (the SPST planner's hot path: no `Route` indirection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range or a slot is unknown.
+    #[inline]
+    pub fn delta_slots(&self, stage: usize, slots: &[usize], bytes: u64) -> f64 {
+        let base = stage * self.num_slots;
+        let mut new_max = self.stage_time[stage];
+        for &s in slots {
+            let t = (self.bytes[base + s] + bytes) as f64 * self.hop_inv_bandwidth[s];
+            if t > new_max {
+                new_max = t;
+            }
+        }
+        new_max - self.stage_time[stage]
+    }
+
+    /// The directed hop slot list of `route`, for [`CostState::delta_slots`].
+    pub fn route_slots(route: &Route) -> Vec<usize> {
+        route
+            .hops
+            .iter()
+            .map(|hop| slot(hop.conn.index(), hop.forward))
+            .collect()
+    }
+
+    /// The increase in total plan time if *all* the given legs were
+    /// committed together, without mutating the state.
+    ///
+    /// This is the whole-tree generalisation of [`CostState::delta`]:
+    /// legs may share stages and physical hops (their bytes aggregate
+    /// before the stage maxima are re-taken), so the result is exactly
+    /// the change in [`CostState::total_time`] that the same sequence of
+    /// [`CostState::add`] calls would realise. Used by the SPST planner
+    /// to re-check a cached communication tree in `O(legs × hops)`
+    /// instead of re-running the layered search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any leg's stage is out of range.
+    pub fn delta_many<'r>(&self, legs: impl IntoIterator<Item = (usize, &'r Route, u64)>) -> f64 {
+        // Trees are tiny (≤ GPUs-1 legs × ≤ 4 hops), so linear scans over
+        // small vecs beat hashing.
+        let mut added: Vec<(usize, usize, u64)> = Vec::new();
+        for (stage, route, bytes) in legs {
+            assert!(stage < self.stage_time.len(), "stage {stage} out of range");
+            for hop in &route.hops {
+                let s = slot(hop.conn.index(), hop.forward);
+                match added
+                    .iter_mut()
+                    .find(|(st, sl, _)| *st == stage && *sl == s)
+                {
+                    Some((_, _, b)) => *b += bytes,
+                    None => added.push((stage, s, bytes)),
+                }
+            }
+        }
+        let mut new_times: Vec<(usize, f64)> = Vec::new();
+        for &(stage, s, b) in &added {
+            let t = (self.bytes[stage * self.num_slots + s] + b) as f64 * self.hop_inv_bandwidth[s];
+            match new_times.iter_mut().find(|(st, _)| *st == stage) {
+                Some((_, max)) => *max = max.max(t),
+                None => new_times.push((stage, t.max(self.stage_time[stage]))),
+            }
+        }
+        new_times
+            .iter()
+            .map(|&(stage, max)| max - self.stage_time[stage])
+            .sum()
+    }
+
+    /// [`CostState::delta_many`] over pre-resolved hop slot lists (one per
+    /// leg), avoiding `Route` indirection on the planner's re-check path.
+    /// Aggregation state lives in the caller-provided [`PriceScratch`]
+    /// (reset by an epoch bump), so steady-state pricing allocates
+    /// nothing — the re-check path runs once per cached candidate and is
+    /// only worth taking if it stays far cheaper than a search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leg's stage is out of range or `scratch` was built for
+    /// a different topology/stage count.
+    pub fn delta_many_slots<'s>(
+        &self,
+        legs: impl IntoIterator<Item = (usize, &'s [usize], u64)>,
+        scratch: &mut PriceScratch,
+    ) -> f64 {
+        assert_eq!(
+            scratch.stamp.len(),
+            self.bytes.len(),
+            "pricing scratch sized for a different cost state"
+        );
+        scratch.epoch += 1;
+        let ep = scratch.epoch;
+        scratch.touched.clear();
+        for (stage, slots, bytes) in legs {
+            assert!(stage < self.stage_time.len(), "stage {stage} out of range");
+            let base = stage * self.num_slots;
+            for &s in slots {
+                let idx = base + s;
+                if scratch.stamp[idx] == ep {
+                    scratch.added[idx] += bytes;
+                } else {
+                    scratch.stamp[idx] = ep;
+                    scratch.added[idx] = bytes;
+                    scratch.touched.push(idx);
+                }
+            }
+        }
+        let mut delta = 0.0;
+        for &idx in &scratch.touched {
+            let stage = idx / self.num_slots;
+            let s = idx % self.num_slots;
+            let t = (self.bytes[idx] + scratch.added[idx]) as f64 * self.hop_inv_bandwidth[s];
+            let stamped = scratch.stage_stamp[stage] == ep;
+            let cur = if stamped {
+                scratch.stage_max[stage]
+            } else {
+                self.stage_time[stage]
+            };
+            if t > cur {
+                scratch.stage_max[stage] = t;
+                if !stamped {
+                    scratch.stage_stamp[stage] = ep;
+                }
+                delta += t - cur;
+            } else if !stamped {
+                scratch.stage_stamp[stage] = ep;
+                scratch.stage_max[stage] = cur;
+            }
+        }
+        delta
+    }
+
+    /// Allocates a [`PriceScratch`] sized for this cost state.
+    pub fn price_scratch(&self) -> PriceScratch {
+        PriceScratch {
+            epoch: 0,
+            stamp: vec![0; self.bytes.len()],
+            added: vec![0; self.bytes.len()],
+            touched: Vec::new(),
+            stage_stamp: vec![0; self.stage_time.len()],
+            stage_max: vec![0.0; self.stage_time.len()],
+        }
+    }
+
+    /// [`CostState::add`] that also records enough state into `log` for
+    /// [`CostState::revert`] to undo it bit-exactly. The SPST planner's
+    /// speculative workers commit into a scratch copy while growing a
+    /// tree (later extensions must price earlier ones), then roll back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn add_logged(
+        &mut self,
+        stage: usize,
+        route: &Route,
+        bytes: u64,
+        log: &mut CostLog,
+    ) -> f64 {
+        log.stages.push((stage, self.stage_time[stage]));
+        let volumes = &mut self.bytes[stage * self.num_slots..];
+        let mut new_max = self.stage_time[stage];
+        for hop in &route.hops {
+            let s = slot(hop.conn.index(), hop.forward);
+            volumes[s] += bytes;
+            log.hops.push((stage, s, bytes));
+            let t = volumes[s] as f64 * self.hop_inv_bandwidth[s];
+            if t > new_max {
+                new_max = t;
+            }
+        }
+        let delta = new_max - self.stage_time[stage];
+        self.stage_time[stage] = new_max;
+        delta
+    }
+
+    /// Undoes every [`CostState::add_logged`] recorded in `log` (in
+    /// reverse order), restoring volumes and stage times bit-exactly,
+    /// and leaves `log` empty.
+    pub fn revert(&mut self, log: &mut CostLog) {
+        while let Some((stage, s, b)) = log.hops.pop() {
+            self.bytes[stage * self.num_slots + s] -= b;
+        }
+        // Reverse pops restore each stage's earliest recorded time last.
+        while let Some((stage, t)) = log.stages.pop() {
+            self.stage_time[stage] = t;
+        }
     }
 
     /// Commits `bytes` over `route` at `stage`, returning the realised
@@ -102,12 +343,12 @@ impl CostState {
     ///
     /// Panics if `stage` is out of range.
     pub fn add(&mut self, stage: usize, route: &Route, bytes: u64) -> f64 {
-        let volumes = &mut self.bytes[stage];
+        let volumes = &mut self.bytes[stage * self.num_slots..];
         let mut new_max = self.stage_time[stage];
         for hop in &route.hops {
             let s = slot(hop.conn.index(), hop.forward);
             volumes[s] += bytes;
-            let t = volumes[s] as f64 / self.hop_bandwidth[s];
+            let t = volumes[s] as f64 * self.hop_inv_bandwidth[s];
             if t > new_max {
                 new_max = t;
             }
@@ -123,7 +364,7 @@ impl CostState {
     ///
     /// Panics if `stage` is out of range.
     pub fn hop_bytes(&self, stage: usize, conn_index: usize, forward: bool) -> u64 {
-        self.bytes[stage][slot(conn_index, forward)]
+        self.bytes[stage * self.num_slots + slot(conn_index, forward)]
     }
 
     /// Per-stage volume report: for each stage, the total bytes per
@@ -131,7 +372,7 @@ impl CostState {
     /// of Tables 2 and 7).
     pub fn volume_by_kind(&self, topology: &Topology) -> Vec<(dgcl_topology::LinkKind, u64)> {
         let mut acc: Vec<(dgcl_topology::LinkKind, u64)> = Vec::new();
-        for stage in &self.bytes {
+        for stage in self.bytes.chunks(self.num_slots) {
             for conn in topology.conns() {
                 let v = stage[slot(conn.id.index(), false)] + stage[slot(conn.id.index(), true)];
                 if v == 0 {
@@ -152,7 +393,7 @@ impl CostState {
     pub fn time_by_nvlink_split(&self, topology: &Topology) -> (f64, f64) {
         let mut nvlink = 0.0;
         let mut others = 0.0;
-        for stage in &self.bytes {
+        for stage in self.bytes.chunks(self.num_slots) {
             let mut nv_max = 0.0f64;
             let mut other_max = 0.0f64;
             for conn in topology.conns() {
@@ -161,7 +402,7 @@ impl CostState {
                     if stage[s] == 0 {
                         continue;
                     }
-                    let t = stage[s] as f64 / self.hop_bandwidth[s];
+                    let t = stage[s] as f64 * self.hop_inv_bandwidth[s];
                     if conn.kind.is_nvlink() {
                         nv_max = nv_max.max(t);
                     } else {
@@ -279,6 +520,88 @@ mod tests {
         cs.add(0, &qpi, 95_600_000); // 10 ms via QPI.
                                      // A small NVLink transfer in the same stage is absorbed.
         assert_eq!(cs.delta(0, &nv, 24_220), 0.0);
+    }
+
+    #[test]
+    fn delta_many_matches_sequential_adds() {
+        let topo = Topology::fig6();
+        let mut cs = CostState::new(&topo, 4);
+        cs.add(0, &topo.route(0, 2).clone(), 5_000_000);
+        cs.add(1, &topo.route(1, 3).clone(), 2_000_000);
+        // A small "tree": two legs in stage 0 sharing the QPI, one in stage 1.
+        let legs = [
+            (0usize, topo.route(0, 2).clone(), 3_000_000u64),
+            (0, topo.route(1, 3).clone(), 4_000_000),
+            (1, topo.route(0, 1).clone(), 1_000_000),
+        ];
+        let predicted = cs.delta_many(legs.iter().map(|(s, r, b)| (*s, r, *b)));
+        let mut realised = 0.0;
+        for (s, r, b) in &legs {
+            realised += cs.add(*s, r, *b);
+        }
+        assert!(
+            (predicted - realised).abs() < 1e-12,
+            "predicted {predicted} realised {realised}"
+        );
+    }
+
+    #[test]
+    fn delta_many_of_empty_is_zero() {
+        let topo = Topology::fig6();
+        let cs = CostState::new(&topo, 2);
+        assert_eq!(cs.delta_many(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn add_logged_then_revert_restores_bit_exactly() {
+        let topo = Topology::fig6();
+        let mut cs = CostState::new(&topo, 4);
+        cs.add(0, &topo.route(0, 2).clone(), 7_000_000);
+        cs.add(2, &topo.route(3, 1).clone(), 1_234_567);
+        let baseline = cs.clone();
+
+        let mut log = CostLog::new();
+        let d1 = cs.add_logged(0, &topo.route(1, 3).clone(), 4_000_000, &mut log);
+        let d2 = cs.add_logged(1, &topo.route(0, 1).clone(), 2_000_000, &mut log);
+        let d3 = cs.add_logged(0, &topo.route(1, 3).clone(), 4_000_000, &mut log);
+        assert!(d1 > 0.0 && d2 > 0.0 && d3 > 0.0);
+        assert!(cs.total_time() > baseline.total_time());
+
+        cs.revert(&mut log);
+        assert!(log.is_empty());
+        for stage in 0..4 {
+            assert_eq!(
+                cs.stage_time(stage).to_bits(),
+                baseline.stage_time(stage).to_bits()
+            );
+            for conn in topo.conns() {
+                for fwd in [false, true] {
+                    assert_eq!(
+                        cs.hop_bytes(stage, conn.id.index(), fwd),
+                        baseline.hop_bytes(stage, conn.id.index(), fwd)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_logged_matches_add() {
+        let topo = Topology::fig6();
+        let mut plain = CostState::new(&topo, 3);
+        let mut logged = CostState::new(&topo, 3);
+        let mut log = CostLog::new();
+        for (stage, a, b, bytes) in [
+            (0usize, 0, 2, 5_000_000u64),
+            (0, 1, 3, 3_000_000),
+            (1, 2, 0, 9_999),
+        ] {
+            let r = topo.route(a, b).clone();
+            let dp = plain.add(stage, &r, bytes);
+            let dl = logged.add_logged(stage, &r, bytes, &mut log);
+            assert_eq!(dp.to_bits(), dl.to_bits());
+        }
+        assert_eq!(plain.total_time().to_bits(), logged.total_time().to_bits());
     }
 
     #[test]

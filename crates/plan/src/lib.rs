@@ -10,7 +10,10 @@
 //!   physical-hop volume accounting with `O(hops)` incremental cost
 //!   queries (Algorithm 2, computed incrementally).
 //! * [`spst::spst_plan`] — the shortest-path-spanning-tree planner
-//!   (Algorithm 1).
+//!   (Algorithm 1), plus [`spst::spst_plan_with_config`], the batched
+//!   fast path: demand-class tree reuse, speculative parallel batches
+//!   and allocation-free search-state reuse (see the `spst` module docs
+//!   for the determinism contract).
 //! * [`baselines`] — peer-to-peer, swap (NeuGraph-style) and replication
 //!   (Medusa-style) alternatives the paper compares against.
 //! * [`plan::CommPlan`] — the staged plan, with a propagation validator.
@@ -42,7 +45,10 @@ pub mod report;
 pub mod spst;
 pub mod tuples;
 
-pub use cost::CostState;
+pub use cost::{CostLog, CostState};
 pub use plan::{CommPlan, CommStep};
-pub use spst::{spst_plan, spst_plan_with_order, SpstOutcome, VertexOrder};
+pub use spst::{
+    spst_plan, spst_plan_with_config, spst_plan_with_order, PlannerStats, SpstConfig, SpstOutcome,
+    TreeEdge, VertexOrder,
+};
 pub use tuples::SendRecvTables;

@@ -91,6 +91,52 @@ pub fn render_plan(plan: &CommPlan, topology: &Topology) -> String {
     out
 }
 
+/// Renders [`PlannerStats`](crate::spst::PlannerStats) as a one-glance
+/// summary: how the batched fast path resolved each demand and how well
+/// the demand-class cache held up.
+pub fn render_planner_stats(stats: &crate::spst::PlannerStats) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let pct = |n: usize| {
+        if stats.demands == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / stats.demands as f64
+        }
+    };
+    let _ = writeln!(
+        out,
+        "planner: {} demands in {} classes",
+        stats.demands, stats.classes
+    );
+    let _ = writeln!(
+        out,
+        "  cache commits:       {:>8} ({:.1}%)",
+        stats.cache_commits,
+        pct(stats.cache_commits)
+    );
+    let _ = writeln!(
+        out,
+        "  speculative commits: {:>8} ({:.1}%)",
+        stats.speculative_commits,
+        pct(stats.speculative_commits)
+    );
+    let _ = writeln!(
+        out,
+        "  full searches:       {:>8} ({:.1}%, of which {} re-plans)",
+        stats.full_searches,
+        pct(stats.full_searches),
+        stats.replans
+    );
+    let _ = writeln!(
+        out,
+        "  cache misses: {} stale, {} over-tolerance",
+        stats.cache_stale, stats.cache_rejected
+    );
+    let _ = writeln!(out, "  speculative batches: {}", stats.batches);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +166,33 @@ mod tests {
         let total: u64 = stats.volume_by_kind.iter().map(|(_, v)| v).sum();
         // Each unit transfer contributes one byte per hop of its route.
         assert!(total >= 3);
+    }
+
+    #[test]
+    fn planner_stats_render_partitions_demands() {
+        let stats = crate::spst::PlannerStats {
+            demands: 100,
+            classes: 10,
+            full_searches: 20,
+            cache_commits: 50,
+            speculative_commits: 30,
+            replans: 5,
+            cache_stale: 3,
+            cache_rejected: 2,
+            batches: 4,
+        };
+        let text = render_planner_stats(&stats);
+        assert!(text.contains("100 demands in 10 classes"));
+        assert!(text.contains("50 (50.0%)"));
+        assert!(text.contains("of which 5 re-plans"));
+        assert!(text.contains("3 stale, 2 over-tolerance"));
+    }
+
+    #[test]
+    fn planner_stats_render_handles_empty_plan() {
+        let text = render_planner_stats(&crate::spst::PlannerStats::default());
+        assert!(text.contains("0 demands"));
+        assert!(text.contains("(0.0%)"));
     }
 
     #[test]

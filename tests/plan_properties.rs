@@ -7,7 +7,7 @@ use dgcl_graph::generators::erdos_renyi;
 use dgcl_partition::PartitionedGraph;
 use dgcl_plan::baselines::peer_to_peer;
 use dgcl_plan::plan::validate_plan;
-use dgcl_plan::{spst_plan, SendRecvTables};
+use dgcl_plan::{spst_plan, spst_plan_with_config, SendRecvTables, SpstConfig};
 use dgcl_topology::Topology;
 use proptest::prelude::*;
 
@@ -99,6 +99,53 @@ proptest! {
         if t1 > 0.0 {
             prop_assert!((t3 / t1 - 3.0).abs() < 1e-6, "ratio {}", t3 / t1);
         }
+    }
+
+    #[test]
+    fn batched_planner_plans_are_always_valid(
+        pg in arb_partitioned(8),
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let topo = Topology::dgx1();
+        let out = spst_plan_with_config(&pg, &topo, 1024, seed, SpstConfig::batched(threads));
+        prop_assert!(validate_plan(&out.plan, &pg).is_ok());
+        // The commit counters partition the demand set.
+        prop_assert_eq!(
+            out.stats.full_searches + out.stats.cache_commits + out.stats.speculative_commits,
+            out.stats.demands
+        );
+    }
+
+    #[test]
+    fn exact_config_matches_sequential_bit_for_bit(
+        pg in arb_partitioned(4),
+        seed in any::<u64>(),
+    ) {
+        // The determinism contract: threads = 1, tolerance = 0 disables
+        // every reuse tier, not merely makes it unlikely to fire.
+        let topo = Topology::fig6();
+        let a = spst_plan(&pg, &topo, 512, seed);
+        let b = spst_plan_with_config(&pg, &topo, 512, seed, SpstConfig::default());
+        prop_assert_eq!(&a.plan.steps, &b.plan.steps);
+        prop_assert_eq!(a.cost.total_time().to_bits(), b.cost.total_time().to_bits());
+    }
+
+    #[test]
+    fn batched_planner_cost_stays_within_tolerance_of_sequential(
+        pg in arb_partitioned(8),
+        seed in any::<u64>(),
+    ) {
+        // The reuse tiers are tolerance-bounded per commit and globally
+        // drift-budgeted; allow double the nominal 5% for greedy
+        // trajectory divergence on adversarial random relations.
+        let topo = Topology::dgx1();
+        let exact = spst_plan(&pg, &topo, 1024, seed);
+        let batched = spst_plan_with_config(&pg, &topo, 1024, seed, SpstConfig::batched(2));
+        prop_assert!(
+            batched.cost.total_time() <= exact.cost.total_time() * 1.10 + 1e-12,
+            "batched {} vs exact {}", batched.cost.total_time(), exact.cost.total_time()
+        );
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of proptest's API its tests use: the [`proptest!`] macro
+//! (with optional `#![proptest_config(...)]`), [`Strategy`] with
+//! `prop_map` / `prop_filter`, numeric-range and tuple strategies,
+//! [`arbitrary::any`], [`collection::vec`] and the `prop_assert*` macros.
+//!
+//! Differences from upstream: failing cases are *not* shrunk (the seed and
+//! case index are printed instead, and every run is deterministic per test
+//! name, so failures reproduce exactly), and `prop_assert!` panics rather
+//! than returning `Err` — upstream semantics the tests here don't rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// Runner configuration; only the case count is configurable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies. Newtyped so strategy implementations
+/// stay decoupled from the backing generator.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A deterministic runner; `salt` is derived from the test name so
+    /// sibling properties see different streams.
+    pub fn deterministic(salt: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(0xD6CC_5EED ^ salt),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// FNV-1a, used to salt each property's RNG stream by its name.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A recipe for random values (no shrinking in this stand-in).
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, retrying (upstream whines about
+    /// excessive rejection; here it panics after a large retry budget).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.new_value(runner);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 10000 samples", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$i:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$i.new_value(runner),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+    (A/0, B/1, C/2, D/3, E/4, F/5);
+}
+
+pub mod arbitrary {
+    use super::{SampleRange, Strategy, TestRunner};
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for the type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Builds that strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Strategy covering a primitive type's full domain.
+    pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    (<$t>::MIN..=<$t>::MAX).sample_single(runner.rng())
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(core::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyPrimitive<bool> {
+        type Value = bool;
+
+        fn new_value(&self, runner: &mut TestRunner) -> bool {
+            use rand::RngCore;
+            runner.rng().next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyPrimitive<bool>;
+
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive(core::marker::PhantomData)
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRunner};
+
+    /// Lengths accepted by [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec<T>` with a length drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = runner.rng().gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics with context here;
+/// upstream returns an error the runner shrinks on).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// [`prop_assert!`] for equality.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// [`prop_assert!`] for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::TestRunner::deterministic($crate::fnv1a(stringify!($name)));
+            for case in 0..config.cases {
+                let run = || {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut runner);)+
+                    $body
+                };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest {} failed at case {}/{} (deterministic per test name)",
+                        stringify!($name),
+                        case,
+                        config.cases
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $(
+            $(#[$meta])*
+            fn $name($($arg in $strat),+) $body
+        )*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 5usize..10) {
+            prop_assert!((5..10).contains(&v));
+        }
+
+        #[test]
+        fn mapped_strategies_apply(v in arb_even()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn filters_hold(v in (0i32..100).prop_filter("odd", |v| v % 2 == 1)) {
+            prop_assert_ne!(v % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_any_compose((a, b) in (0usize..4, any::<bool>()), s in any::<u64>()) {
+            prop_assert!(a < 4);
+            let _ = (b, s);
+        }
+
+        #[test]
+        fn vecs_respect_sizes(v in collection::vec(0u32..7, 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 7));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let s = (0u64..1_000_000, 0u64..1_000_000);
+        let mut a = crate::TestRunner::deterministic(9);
+        let mut b = crate::TestRunner::deterministic(9);
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+}
