@@ -1,0 +1,89 @@
+//! Criterion bench for the parallel compute engine (the `compute`
+//! experiment's measurement).
+//!
+//! Covers the three hot-path kernel families at explicit worker counts,
+//! so the pool-scaling win and the algorithmic wins (gather-form
+//! backward vs per-vertex scatter, compiled schedules vs the uncompiled
+//! table walk) are visible separately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgcl::{build_comm_info, BuildOptions};
+use dgcl_bench::RunContext;
+use dgcl_gnn::aggregate::{
+    aggregate_sum_backward_scatter, aggregate_sum_backward_threads, aggregate_sum_threads,
+};
+use dgcl_graph::Dataset;
+use dgcl_tensor::XavierInit;
+use dgcl_topology::Topology;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut init = XavierInit::new(42);
+    let a = init.features(512, 256);
+    let b = init.features(256, 128);
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("512x256x128", threads),
+            &threads,
+            |bch, &t| bch.iter(|| a.matmul_threads(&b, t)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut ctx = RunContext::new(false);
+    let graph = ctx.graph(Dataset::WikiTalk);
+    let nv = graph.num_vertices();
+    let mut init = XavierInit::new(42);
+    let h = init.features(nv, 64);
+    graph.reversed(); // Exclude the one-off transpose build from timings.
+    let mut group = c.benchmark_group("aggregate");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("fwd", threads), &threads, |b, &t| {
+            b.iter(|| aggregate_sum_threads(&graph, &h, nv, t))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bwd-gather", threads),
+            &threads,
+            |b, &t| b.iter(|| aggregate_sum_backward_threads(&graph, &h, nv, t)),
+        );
+    }
+    group.bench_function("bwd-scatter", |b| {
+        b.iter(|| aggregate_sum_backward_scatter(&graph, &h, nv))
+    });
+    group.finish();
+}
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut ctx = RunContext::new(false);
+    let graph = ctx.graph(Dataset::WebGoogle);
+    let info = build_comm_info(&graph, Topology::fig6(), BuildOptions::default());
+    let mut init = XavierInit::new(42);
+    let feat = init.features(graph.num_vertices(), 64);
+    let per_device = info.dispatch_features(&feat);
+    let mut group = c.benchmark_group("allgather");
+    group.sample_size(10);
+    group.bench_function("compiled", |b| {
+        b.iter(|| {
+            dgcl::run_cluster(&info, |hdl| {
+                let full = hdl.graph_allgather(&per_device[hdl.rank]);
+                hdl.scatter_backward(&full)
+            })
+        })
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| {
+            dgcl::run_cluster(&info, |hdl| {
+                let full = hdl.graph_allgather_reference(&per_device[hdl.rank]);
+                hdl.scatter_backward_reference(&full)
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_aggregate, bench_allgather);
+criterion_main!(benches);

@@ -18,8 +18,10 @@
 //! | `fig11` | Figure 11 | send/recv tables are tiny vs training state |
 //! | `table9` | Table 9 | non-atomic backward is faster |
 //! | `ablation` | (extra) | SPST design-choice ablations |
+//! | `compute` | (extra) | hot-path kernels: threaded matmul, parallel CSR aggregation, compiled allgather |
 
 mod ablation;
+mod compute;
 mod fig10;
 mod fig11;
 mod fig2;
@@ -40,7 +42,7 @@ use crate::harness::RunContext;
 /// All experiment ids in paper order.
 pub const ALL: &[&str] = &[
     "table1", "fig2", "table2", "table3", "fig4", "fig7", "fig8", "fig9", "table5", "table6",
-    "fig10", "table7", "table8", "fig11", "table9", "ablation",
+    "fig10", "table7", "table8", "fig11", "table9", "ablation", "compute",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -62,6 +64,7 @@ pub fn run(id: &str, ctx: &mut RunContext) -> bool {
         "fig11" => fig11::run(ctx),
         "table9" => table9::run(ctx),
         "ablation" => ablation::run(ctx),
+        "compute" => compute::run(ctx),
         _ => return false,
     }
     true

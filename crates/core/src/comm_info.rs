@@ -8,6 +8,8 @@ use dgcl_plan::{spst_plan, CommPlan, SendRecvTables};
 use dgcl_tensor::Matrix;
 use dgcl_topology::Topology;
 
+use crate::schedule::DeviceSchedule;
+
 /// Options for [`build_comm_info`].
 #[derive(Debug, Clone, Copy)]
 pub struct BuildOptions {
@@ -47,6 +49,11 @@ pub struct CommInfo {
     pub forward_tables: SendRecvTables,
     /// Backward (gradient scatter) tables, sub-staged when requested.
     pub backward_tables: SendRecvTables,
+    /// Per device: the forward tables compiled to row references
+    /// (grouped stages, pre-resolved vertex ids, scratch sizing).
+    pub forward_schedules: Vec<DeviceSchedule>,
+    /// Per device: the backward tables compiled likewise.
+    pub backward_schedules: Vec<DeviceSchedule>,
     /// SPST wall-clock planning time in seconds.
     pub planning_seconds: f64,
     /// The cost model's estimate for one allgather in seconds.
@@ -80,12 +87,20 @@ pub fn build_comm_info(graph: &CsrGraph, topology: Topology, options: BuildOptio
     } else {
         backward
     };
+    let forward_schedules = (0..num_gpus)
+        .map(|d| DeviceSchedule::forward(&forward_tables, d, pg.local_graph(d)))
+        .collect();
+    let backward_schedules = (0..num_gpus)
+        .map(|d| DeviceSchedule::backward(&backward_tables, d, pg.local_graph(d)))
+        .collect();
     CommInfo {
         topology,
         pg,
         plan: outcome.plan,
         forward_tables,
         backward_tables,
+        forward_schedules,
+        backward_schedules,
         planning_seconds: outcome.planning_seconds,
         estimated_allgather_seconds: outcome.cost.total_time(),
     }

@@ -54,6 +54,10 @@ pub struct Fabric {
     ready: Vec<AtomicU64>,
     reduce: Mutex<ReduceState>,
     reduce_signal: Condvar,
+    /// Retired payload buffers awaiting reuse; in steady state every
+    /// payload and scratch buffer of the collectives is drawn from here
+    /// instead of the allocator.
+    buffers: Mutex<Vec<Vec<f32>>>,
 }
 
 impl Fabric {
@@ -73,6 +77,31 @@ impl Fabric {
                 result: None,
             }),
             reduce_signal: Condvar::new(),
+            buffers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes an empty buffer with at least `capacity` floats of room from
+    /// the recycle pool, growing one only when the pool cannot satisfy
+    /// the request. Pair with [`Fabric::recycle`].
+    pub fn checkout(&self, capacity: usize) -> Vec<f32> {
+        let mut pool = self.buffers.lock();
+        // Prefer a buffer that already fits so warm capacities circulate
+        // without reallocating.
+        let mut buf = match pool.iter().position(|b| b.capacity() >= capacity) {
+            Some(i) => pool.swap_remove(i),
+            None => pool.pop().unwrap_or_default(),
+        };
+        drop(pool);
+        buf.clear();
+        buf.reserve(capacity);
+        buf
+    }
+
+    /// Returns a buffer to the recycle pool.
+    pub fn recycle(&self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.buffers.lock().push(buf);
         }
     }
 
@@ -224,6 +253,23 @@ mod tests {
             let out = h.join().expect("no panic");
             assert_eq!(out[0], Matrix::full(2, 2, 6.0));
         }
+    }
+
+    #[test]
+    fn checkout_reuses_recycled_capacity() {
+        let f = Fabric::new(1);
+        let mut buf = f.checkout(16);
+        buf.extend_from_slice(&[1.0; 16]);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        f.recycle(buf);
+        let again = f.checkout(16);
+        assert!(again.is_empty(), "checked-out buffers arrive cleared");
+        assert_eq!(again.as_ptr(), ptr, "capacity is recycled, not reallocated");
+        assert_eq!(again.capacity(), cap);
+        // A larger request than any pooled buffer still succeeds.
+        f.recycle(again);
+        assert!(f.checkout(1024).capacity() >= 1024);
     }
 
     #[test]

@@ -52,6 +52,7 @@
 pub mod comm_info;
 pub mod fabric;
 pub mod runtime;
+pub mod schedule;
 pub mod trainer;
 
 pub use comm_info::{build_comm_info, BuildOptions, CommInfo};

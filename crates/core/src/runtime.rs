@@ -59,6 +59,13 @@ impl<'a> DeviceHandle<'a> {
     /// (local rows first, then remote — the local-id layout of
     /// [`LocalGraph`]).
     ///
+    /// Runs the compiled [`crate::schedule::DeviceSchedule`]: stage
+    /// groups and row references were resolved at `build_comm_info` time,
+    /// so the steady-state loop performs no table filtering, no vertex-id
+    /// lookups and no heap allocation (payload and relay buffers cycle
+    /// through the fabric's recycle pool). Bitwise-identical to
+    /// [`DeviceHandle::graph_allgather_reference`].
+    ///
     /// Blocking and synchronous: returns only when every stage of the
     /// plan has completed on this device.
     ///
@@ -66,6 +73,74 @@ impl<'a> DeviceHandle<'a> {
     ///
     /// Panics if `local` does not have exactly `num_local` rows.
     pub fn graph_allgather(&self, local: &Matrix) -> Matrix {
+        let lg = self.local_graph();
+        assert_eq!(local.rows(), lg.num_local, "expected local rows only");
+        let cols = local.cols();
+        let op = self.next_op();
+        self.fabric.set_ready(self.rank, op);
+        let num_total = lg.num_total();
+        let mut out = Matrix::zeros(num_total, cols);
+        out.as_mut_slice()[..lg.num_local * cols].copy_from_slice(local.as_slice());
+        let sched = &self.info.forward_schedules[self.rank];
+        let ios = &self.info.forward_tables.per_device[self.rank];
+        // Rows this device relays without consuming.
+        let mut relay = self.fabric.checkout(sched.scratch_rows * cols);
+        relay.resize(sched.scratch_rows * cols, 0.0);
+        for group in &sched.groups {
+            let key: MsgKey = (op, group.stage as u32, group.substage as u32);
+            for idx in group.ios.clone() {
+                let refs = &sched.send_refs[idx];
+                if refs.is_empty() {
+                    continue;
+                }
+                let peer = ios[idx].peer;
+                self.fabric.wait_ready(peer, op);
+                let mut payload = self.fabric.checkout(refs.len() * cols);
+                for &r in refs {
+                    let r = r as usize;
+                    let row = if r < num_total {
+                        out.row(r)
+                    } else {
+                        let start = (r - num_total) * cols;
+                        &relay[start..start + cols]
+                    };
+                    payload.extend_from_slice(row);
+                }
+                self.fabric.send(self.rank, peer, key, payload);
+            }
+            for idx in group.ios.clone() {
+                let refs = &sched.recv_refs[idx];
+                if refs.is_empty() {
+                    continue;
+                }
+                let payload = self.fabric.recv(ios[idx].peer, self.rank, key);
+                assert_eq!(payload.len(), refs.len() * cols, "payload size");
+                for (i, &r) in refs.iter().enumerate() {
+                    let row = &payload[i * cols..(i + 1) * cols];
+                    let r = r as usize;
+                    if r < num_total {
+                        out.set_row(r, row);
+                    } else {
+                        let start = (r - num_total) * cols;
+                        relay[start..start + cols].copy_from_slice(row);
+                    }
+                }
+                self.fabric.recycle(payload);
+            }
+        }
+        self.fabric.recycle(relay);
+        out
+    }
+
+    /// The uncompiled table-walking `graph_allgather` this runtime
+    /// shipped with: re-filters the tables per stage and resolves every
+    /// vertex id per operation. Kept as the reference implementation the
+    /// compiled path is property-tested (and benchmarked) against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` does not have exactly `num_local` rows.
+    pub fn graph_allgather_reference(&self, local: &Matrix) -> Matrix {
         let lg = self.local_graph();
         assert_eq!(local.rows(), lg.num_local, "expected local rows only");
         let cols = local.cols();
@@ -127,10 +202,87 @@ impl<'a> DeviceHandle<'a> {
     /// returns the gradient for the local rows with all remote
     /// contributions folded in.
     ///
+    /// Runs the compiled backward schedule; see
+    /// [`DeviceHandle::graph_allgather`] for the compilation contract.
+    /// Bitwise-identical to
+    /// [`DeviceHandle::scatter_backward_reference`].
+    ///
     /// # Panics
     ///
     /// Panics if `grad_full` does not have `num_total` rows.
     pub fn scatter_backward(&self, grad_full: &Matrix) -> Matrix {
+        let lg = self.local_graph();
+        assert_eq!(grad_full.rows(), lg.num_total(), "expected full rows");
+        let cols = grad_full.cols();
+        let op = self.next_op();
+        self.fabric.set_ready(self.rank, op);
+        let num_local = lg.num_local;
+        let mut grad_local = grad_full.head_rows(num_local);
+        let sched = &self.info.backward_schedules[self.rank];
+        let ios = &self.info.backward_tables.per_device[self.rank];
+        // Accumulator scratch: `num_remote` rows seeded with this
+        // device's own consumption gradient, then relay rows (and the
+        // optional always-zero row) from zero.
+        let mut acc = self.fabric.checkout(sched.scratch_rows * cols);
+        acc.resize(sched.scratch_rows * cols, 0.0);
+        let seeded = (lg.num_total() - num_local) * cols;
+        acc[..seeded].copy_from_slice(&grad_full.as_slice()[num_local * cols..]);
+        for group in &sched.groups {
+            let key: MsgKey = (op, group.stage as u32, group.substage as u32);
+            for idx in group.ios.clone() {
+                let refs = &sched.send_refs[idx];
+                if refs.is_empty() {
+                    continue;
+                }
+                let peer = ios[idx].peer;
+                self.fabric.wait_ready(peer, op);
+                let mut payload = self.fabric.checkout(refs.len() * cols);
+                for &r in refs {
+                    let r = r as usize;
+                    let row = if r < num_local {
+                        grad_local.row(r)
+                    } else {
+                        let start = (r - num_local) * cols;
+                        &acc[start..start + cols]
+                    };
+                    payload.extend_from_slice(row);
+                }
+                self.fabric.send(self.rank, peer, key, payload);
+            }
+            for idx in group.ios.clone() {
+                let refs = &sched.recv_refs[idx];
+                if refs.is_empty() {
+                    continue;
+                }
+                let payload = self.fabric.recv(ios[idx].peer, self.rank, key);
+                assert_eq!(payload.len(), refs.len() * cols, "payload size");
+                for (i, &r) in refs.iter().enumerate() {
+                    let row = &payload[i * cols..(i + 1) * cols];
+                    let r = r as usize;
+                    let dst = if r < num_local {
+                        &mut grad_local.row_mut(r)[..]
+                    } else {
+                        let start = (r - num_local) * cols;
+                        &mut acc[start..start + cols]
+                    };
+                    for (g, &x) in dst.iter_mut().zip(row) {
+                        *g += x;
+                    }
+                }
+                self.fabric.recycle(payload);
+            }
+        }
+        self.fabric.recycle(acc);
+        grad_local
+    }
+
+    /// The uncompiled table-walking backward pass (see
+    /// [`DeviceHandle::graph_allgather_reference`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_full` does not have `num_total` rows.
+    pub fn scatter_backward_reference(&self, grad_full: &Matrix) -> Matrix {
         let lg = self.local_graph();
         assert_eq!(grad_full.rows(), lg.num_total(), "expected full rows");
         let cols = grad_full.cols();
@@ -341,6 +493,32 @@ mod tests {
             (lhs_total - rhs_total).abs() < 1e-2 * lhs_total.abs().max(1.0),
             "adjoint mismatch: {lhs_total} vs {rhs_total}"
         );
+    }
+
+    #[test]
+    fn compiled_collectives_match_reference_bitwise() {
+        let (graph, info) = setup();
+        let n = graph.num_vertices();
+        let mut init = XavierInit::new(11);
+        let x = init.features(n, 4);
+        let per_device = info.dispatch_features(&x);
+        let ok = run_cluster(&info, |handle| {
+            let lg = handle.local_graph();
+            let fast = handle.graph_allgather(&per_device[handle.rank]);
+            let slow = handle.graph_allgather_reference(&per_device[handle.rank]);
+            assert_eq!(fast, slow, "allgather parity on rank {}", handle.rank);
+            let mut grad = Matrix::zeros(lg.num_total(), 4);
+            for (li, &v) in lg.global_ids.iter().enumerate() {
+                for c in 0..4 {
+                    grad[(li, c)] = ((v as usize * 13 + c * 5 + handle.rank) % 7) as f32 * 0.25;
+                }
+            }
+            let fast_b = handle.scatter_backward(&grad);
+            let slow_b = handle.scatter_backward_reference(&grad);
+            assert_eq!(fast_b, slow_b, "backward parity on rank {}", handle.rank);
+            true
+        });
+        assert_eq!(ok, vec![true; info.num_devices()]);
     }
 
     #[test]

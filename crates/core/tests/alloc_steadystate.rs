@@ -1,0 +1,127 @@
+//! Steady-state allocation budget for the compiled collectives.
+//!
+//! The compiled `graph_allgather` / `scatter_backward` promise no
+//! per-stage heap allocation once warm: payload and scratch buffers
+//! cycle through the fabric's recycle pool, stage groups and row
+//! references are precompiled, and the per-op relay/accumulator
+//! `HashMap`s are gone. This test pins that with a counting global
+//! allocator: after a warm-up, a window of steady-state operations must
+//! stay within a small per-operation allocation budget (the returned
+//! output matrices themselves), and must allocate strictly less than the
+//! uncompiled reference path over the same window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use dgcl::{build_comm_info, run_cluster, BuildOptions};
+use dgcl_graph::Dataset;
+use dgcl_tensor::Matrix;
+use dgcl_topology::Topology;
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations observed while every device runs `rounds` forward +
+/// backward pairs after `warm` unmeasured warm-up rounds, using either
+/// the compiled or the reference collectives.
+fn measure(compiled: bool, warm: usize, rounds: usize) -> usize {
+    let graph = Dataset::WikiTalk.generate(0.0006, 5);
+    let info = build_comm_info(&graph, Topology::fig6(), BuildOptions::default());
+    let n = graph.num_vertices();
+    let mut features = Matrix::zeros(n, 8);
+    for v in 0..n {
+        features.row_mut(v)[v % 8] = v as f32;
+    }
+    let per_device = info.dispatch_features(&features);
+    ALLOCS.store(0, Ordering::Relaxed);
+    run_cluster(&info, |handle| {
+        let step = |measured: bool| {
+            let full = if compiled {
+                handle.graph_allgather(&per_device[handle.rank])
+            } else {
+                handle.graph_allgather_reference(&per_device[handle.rank])
+            };
+            let grads = if compiled {
+                handle.scatter_backward(&full)
+            } else {
+                handle.scatter_backward_reference(&full)
+            };
+            assert_eq!(grads.rows(), handle.local_graph().num_local);
+            let _ = measured;
+        };
+        for _ in 0..warm {
+            step(false);
+        }
+        // Barrier: no device starts its measured window before every
+        // device has finished warming (so late warm-up allocations are
+        // never attributed to the steady state).
+        handle.allreduce(Vec::new());
+        COUNTING.store(true, Ordering::Relaxed);
+        for _ in 0..rounds {
+            step(true);
+        }
+        handle.allreduce(Vec::new());
+        COUNTING.store(false, Ordering::Relaxed);
+    });
+    COUNTING.store(false, Ordering::Relaxed);
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_allgather_stays_within_allocation_budget() {
+    let warm = 3;
+    let rounds = 5;
+    let compiled = measure(true, warm, rounds);
+    let reference = measure(false, warm, rounds);
+    let devices = 4;
+    let op_pairs = devices * rounds;
+    // Per measured forward+backward pair the compiled path may allocate
+    // the two result matrices it returns plus a small constant (ready
+    // protocol, barrier bookkeeping); everything stage-level must come
+    // from the recycle pool. The budget is deliberately generous — the
+    // uncompiled path blows through it by orders of magnitude.
+    let budget = op_pairs * 8 + 64;
+    eprintln!(
+        "steady-state allocations: compiled={compiled} reference={reference} budget={budget}"
+    );
+    assert!(
+        compiled <= budget,
+        "compiled collectives allocated {compiled} times in {op_pairs} op pairs (budget {budget})"
+    );
+    assert!(
+        compiled * 4 < reference,
+        "compiled path ({compiled}) should allocate far less than the reference ({reference})"
+    );
+}

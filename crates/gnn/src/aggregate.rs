@@ -1,54 +1,188 @@
 //! Neighbour aggregation kernels on CSR graphs.
+//!
+//! Forward aggregation is row-partitioned over the compute worker pool
+//! (`dgcl_tensor::pool`): output rows are disjoint, so chunks run on any
+//! thread count with bitwise-identical results. The backward passes run
+//! in *gather* form over the cached edge-reversed CSR
+//! ([`CsrGraph::reversed`]): `grad_h[u] = Σ_{v : u ∈ N(v)} grad_out[v]`
+//! writes each output row exactly once — no atomics, no per-vertex
+//! scratch allocation — and, because reversed adjacency lists are sorted
+//! ascending, accumulates each element in the same order as the scatter
+//! formulation, so the two agree bitwise (property-tested).
 
 use dgcl_graph::CsrGraph;
-use dgcl_tensor::Matrix;
+use dgcl_tensor::{pool, Matrix};
+
+/// Minimum `edges * cols` work before the forward kernels spawn workers.
+const PAR_WORK_MIN: usize = 1 << 15;
+
+fn par_threads(adj: &CsrGraph, cols: usize) -> usize {
+    if adj.num_edges() * cols.max(1) < PAR_WORK_MIN {
+        1
+    } else {
+        pool::compute_threads()
+    }
+}
 
 /// Sum-aggregates neighbour embeddings: `out[v] = Σ_{u ∈ N(v)} h[u]` for
-/// the first `num_out` vertices.
+/// the first `num_out` vertices, on the global worker count.
 ///
 /// # Panics
 ///
 /// Panics if `num_out` exceeds the adjacency's vertex count or a
 /// neighbour id exceeds `h`'s rows.
 pub fn aggregate_sum(adj: &CsrGraph, h: &Matrix, num_out: usize) -> Matrix {
+    aggregate_sum_threads(adj, h, num_out, par_threads(adj, h.cols()))
+}
+
+/// [`aggregate_sum`] with an explicit worker count. Results are bitwise
+/// identical for every `threads` value.
+///
+/// # Panics
+///
+/// See [`aggregate_sum`].
+pub fn aggregate_sum_threads(adj: &CsrGraph, h: &Matrix, num_out: usize, threads: usize) -> Matrix {
     assert!(
         num_out <= adj.num_vertices(),
         "num_out {} exceeds {} vertices",
         num_out,
         adj.num_vertices()
     );
-    let mut out = Matrix::zeros(num_out, h.cols());
-    for v in 0..num_out {
-        let row = out.row_mut(v);
-        for &u in adj.neighbors(v as u32) {
-            for (o, &x) in row.iter_mut().zip(h.row(u as usize)) {
-                *o += x;
+    let cols = h.cols();
+    let mut out = Matrix::zeros(num_out, cols);
+    pool::par_row_chunks(threads, out.as_mut_slice(), cols.max(1), |v0, chunk| {
+        for (i, row) in chunk.chunks_mut(cols).enumerate() {
+            for &u in adj.neighbors((v0 + i) as u32) {
+                for (o, &x) in row.iter_mut().zip(h.row(u as usize)) {
+                    *o += x;
+                }
             }
         }
-    }
+    });
     out
 }
 
 /// Mean-aggregates neighbour embeddings; vertices without neighbours get
 /// zeros.
 pub fn aggregate_mean(adj: &CsrGraph, h: &Matrix, num_out: usize) -> Matrix {
-    let mut out = aggregate_sum(adj, h, num_out);
-    for v in 0..num_out {
-        let deg = adj.out_degree(v as u32);
-        if deg > 1 {
-            let inv = 1.0 / deg as f32;
-            for o in out.row_mut(v) {
-                *o *= inv;
+    aggregate_mean_threads(adj, h, num_out, par_threads(adj, h.cols()))
+}
+
+/// [`aggregate_mean`] with an explicit worker count.
+pub fn aggregate_mean_threads(
+    adj: &CsrGraph,
+    h: &Matrix,
+    num_out: usize,
+    threads: usize,
+) -> Matrix {
+    let cols = h.cols();
+    let mut out = aggregate_sum_threads(adj, h, num_out, threads);
+    pool::par_row_chunks(threads, out.as_mut_slice(), cols.max(1), |v0, chunk| {
+        for (i, row) in chunk.chunks_mut(cols).enumerate() {
+            let deg = adj.out_degree((v0 + i) as u32);
+            if deg > 1 {
+                let inv = 1.0 / deg as f32;
+                for o in row {
+                    *o *= inv;
+                }
             }
         }
-    }
+    });
     out
 }
 
-/// Backward of [`aggregate_sum`]: scatters `grad_out[v]` to every
-/// neighbour of `v`, producing gradients for all `num_total` visible
-/// rows.
+/// Backward of [`aggregate_sum`] in gather form over the cached reversed
+/// CSR: produces gradients for all `num_total` visible rows without
+/// atomics or per-vertex allocation. Bitwise-identical to
+/// [`aggregate_sum_backward_scatter`].
 pub fn aggregate_sum_backward(adj: &CsrGraph, grad_out: &Matrix, num_total: usize) -> Matrix {
+    aggregate_sum_backward_threads(adj, grad_out, num_total, par_threads(adj, grad_out.cols()))
+}
+
+/// [`aggregate_sum_backward`] with an explicit worker count.
+pub fn aggregate_sum_backward_threads(
+    adj: &CsrGraph,
+    grad_out: &Matrix,
+    num_total: usize,
+    threads: usize,
+) -> Matrix {
+    let rev = adj.reversed();
+    let nv = rev.num_vertices();
+    let sources = grad_out.rows() as u32;
+    let cols = grad_out.cols();
+    let mut grad_h = Matrix::zeros(num_total, cols);
+    pool::par_row_chunks(threads, grad_h.as_mut_slice(), cols.max(1), |u0, chunk| {
+        for (i, row) in chunk.chunks_mut(cols).enumerate() {
+            let u = u0 + i;
+            if u >= nv {
+                continue;
+            }
+            // Reversed lists are sorted ascending, so the sources beyond
+            // the gradient rows form a suffix.
+            for &v in rev.neighbors(u as u32) {
+                if v >= sources {
+                    break;
+                }
+                for (o, &x) in row.iter_mut().zip(grad_out.row(v as usize)) {
+                    *o += x;
+                }
+            }
+        }
+    });
+    grad_h
+}
+
+/// Backward of [`aggregate_mean`], gather form (see
+/// [`aggregate_sum_backward`]).
+pub fn aggregate_mean_backward(adj: &CsrGraph, grad_out: &Matrix, num_total: usize) -> Matrix {
+    aggregate_mean_backward_threads(adj, grad_out, num_total, par_threads(adj, grad_out.cols()))
+}
+
+/// [`aggregate_mean_backward`] with an explicit worker count.
+pub fn aggregate_mean_backward_threads(
+    adj: &CsrGraph,
+    grad_out: &Matrix,
+    num_total: usize,
+    threads: usize,
+) -> Matrix {
+    let rev = adj.reversed();
+    let nv = rev.num_vertices();
+    let sources = grad_out.rows() as u32;
+    let cols = grad_out.cols();
+    let mut grad_h = Matrix::zeros(num_total, cols);
+    pool::par_row_chunks(threads, grad_h.as_mut_slice(), cols.max(1), |u0, chunk| {
+        for (i, row) in chunk.chunks_mut(cols).enumerate() {
+            let u = u0 + i;
+            if u >= nv {
+                continue;
+            }
+            for &v in rev.neighbors(u as u32) {
+                if v >= sources {
+                    break;
+                }
+                let deg = adj.out_degree(v);
+                if deg == 0 {
+                    continue;
+                }
+                let inv = 1.0 / deg as f32;
+                for (o, &x) in row.iter_mut().zip(grad_out.row(v as usize)) {
+                    *o += x * inv;
+                }
+            }
+        }
+    });
+    grad_h
+}
+
+/// The original scatter formulation of [`aggregate_sum_backward`], kept
+/// as the reference the gather kernels are property-tested against (and
+/// as the baseline `BENCH_compute.json` measures the reverse-CSR win
+/// over).
+pub fn aggregate_sum_backward_scatter(
+    adj: &CsrGraph,
+    grad_out: &Matrix,
+    num_total: usize,
+) -> Matrix {
     let mut grad_h = Matrix::zeros(num_total, grad_out.cols());
     for v in 0..grad_out.rows() {
         let g = grad_out.row(v).to_vec();
@@ -61,8 +195,13 @@ pub fn aggregate_sum_backward(adj: &CsrGraph, grad_out: &Matrix, num_total: usiz
     grad_h
 }
 
-/// Backward of [`aggregate_mean`].
-pub fn aggregate_mean_backward(adj: &CsrGraph, grad_out: &Matrix, num_total: usize) -> Matrix {
+/// The original scatter formulation of [`aggregate_mean_backward`]
+/// (reference, see [`aggregate_sum_backward_scatter`]).
+pub fn aggregate_mean_backward_scatter(
+    adj: &CsrGraph,
+    grad_out: &Matrix,
+    num_total: usize,
+) -> Matrix {
     let mut grad_h = Matrix::zeros(num_total, grad_out.cols());
     for v in 0..grad_out.rows() {
         let deg = adj.out_degree(v as u32);

@@ -1,5 +1,7 @@
 //! Compressed-sparse-row graph storage.
 
+use std::sync::OnceLock;
+
 use crate::VertexId;
 
 /// A directed graph in compressed-sparse-row form.
@@ -9,10 +11,42 @@ use crate::VertexId;
 /// duplicates and no self-loops (the builder enforces this). GNN training
 /// in this reproduction always uses symmetric graphs, but the type itself
 /// supports arbitrary directed graphs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The edge-reversed graph used by the gather-form aggregation backward
+/// is computed once on first use and cached ([`CsrGraph::reversed`]);
+/// equality, cloning and formatting ignore the cache.
 pub struct CsrGraph {
     offsets: Vec<usize>,
     targets: Vec<VertexId>,
+    reversed: OnceLock<Box<CsrGraph>>,
+}
+
+impl Clone for CsrGraph {
+    fn clone(&self) -> Self {
+        // The clone recomputes its reverse lazily if it needs one.
+        Self {
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+            reversed: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets && self.targets == other.targets
+    }
+}
+
+impl Eq for CsrGraph {}
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("offsets", &self.offsets)
+            .field("targets", &self.targets)
+            .finish()
+    }
 }
 
 impl CsrGraph {
@@ -40,7 +74,11 @@ impl CsrGraph {
             targets.iter().all(|&t| (t as usize) < n),
             "target out of range"
         );
-        Self { offsets, targets }
+        Self {
+            offsets,
+            targets,
+            reversed: OnceLock::new(),
+        }
     }
 
     /// A graph with `n` vertices and no edges.
@@ -48,6 +86,7 @@ impl CsrGraph {
         Self {
             offsets: vec![0; n + 1],
             targets: Vec::new(),
+            reversed: OnceLock::new(),
         }
     }
 
@@ -123,7 +162,19 @@ impl CsrGraph {
         }
         // Per-row targets come out sorted because source vertices are
         // visited in ascending order.
-        CsrGraph { offsets, targets }
+        CsrGraph {
+            offsets,
+            targets,
+            reversed: OnceLock::new(),
+        }
+    }
+
+    /// The transpose, computed once on first call and cached for the
+    /// graph's lifetime. The gather-form aggregation backward walks this
+    /// on every layer of every epoch, so the O(V + E) build must not
+    /// recur (clones start with an empty cache).
+    pub fn reversed(&self) -> &CsrGraph {
+        self.reversed.get_or_init(|| Box::new(self.reverse()))
     }
 
     /// Whether the graph equals its own transpose (undirected storage).
@@ -165,6 +216,15 @@ mod tests {
         assert_eq!(r.neighbors(1), &[0]);
         assert_eq!(r.neighbors(2), &[1]);
         assert_eq!(r.out_degree(0), 0);
+    }
+
+    #[test]
+    fn cached_reversed_matches_reverse() {
+        let g = chain3();
+        assert_eq!(*g.reversed(), g.reverse());
+        assert!(std::ptr::eq(g.reversed(), g.reversed()), "cache is stable");
+        // Clones drop the cache but recompute the same transpose.
+        assert_eq!(*g.clone().reversed(), g.reverse());
     }
 
     #[test]

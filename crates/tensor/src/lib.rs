@@ -20,8 +20,10 @@ mod activation;
 mod init;
 mod matrix;
 mod ops;
+pub mod pool;
 mod reduce;
 
 pub use activation::Activation;
 pub use init::XavierInit;
 pub use matrix::Matrix;
+pub use pool::{compute_threads, set_compute_threads};

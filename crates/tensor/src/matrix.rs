@@ -224,14 +224,34 @@ impl Matrix {
         (left, right)
     }
 
-    /// The transpose of the matrix.
+    /// The transpose of the matrix, on the global worker count
+    /// ([`crate::pool::compute_threads`]).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[(c, r)] = self[(r, c)];
+        self.transpose_threads(crate::pool::compute_threads())
+    }
+
+    /// [`Matrix::transpose`] with an explicit worker count. A pure
+    /// permutation: results are identical for every `threads` value.
+    pub fn transpose_threads(&self, threads: usize) -> Matrix {
+        // Blocked: each output chunk (a band of source columns) walks the
+        // source rows in 64-row tiles so the strided reads of one tile
+        // share cache lines before they are evicted.
+        const TILE_ROWS: usize = 64;
+        let (rows, cols) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(cols, rows);
+        let threads = if rows * cols < 1 << 15 { 1 } else { threads };
+        let src = &self.data;
+        crate::pool::par_row_chunks(threads, &mut out.data, rows.max(1), |c0, chunk| {
+            for rb in (0..rows).step_by(TILE_ROWS) {
+                let rend = (rb + TILE_ROWS).min(rows);
+                for (i, out_row) in chunk.chunks_mut(rows).enumerate() {
+                    let c = c0 + i;
+                    for r in rb..rend {
+                        out_row[r] = src[r * cols + c];
+                    }
+                }
             }
-        }
+        });
         out
     }
 

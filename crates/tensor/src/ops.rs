@@ -1,17 +1,42 @@
 //! Linear-algebra kernels on [`Matrix`].
+//!
+//! The three matmul variants are cache-blocked and run on the compute
+//! worker pool ([`crate::pool`]): output rows are split into fixed
+//! chunks processed by scoped workers. Per output element the reduction
+//! over the shared dimension always runs in ascending index order, so
+//! results are bitwise identical at every thread count *and* to the
+//! original unblocked sequential kernels.
 
+use crate::pool;
 use crate::Matrix;
 
+/// Cache block over the shared (reduction) dimension: a `BLOCK_K x cols`
+/// window of the streamed operand stays hot across the rows of a chunk.
+const BLOCK_K: usize = 128;
+
+/// Minimum multiply-add count before a kernel spawns workers; below this
+/// the spawn overhead dominates. Gating only changes scheduling, never
+/// results.
+const PAR_FLOPS_MIN: usize = 1 << 16;
+
 impl Matrix {
-    /// Matrix product `self * rhs`.
-    ///
-    /// Uses an i-k-j loop order so the inner loop streams over contiguous
-    /// rows of both the output and `rhs`.
+    /// Matrix product `self * rhs`, on the global worker count
+    /// ([`pool::compute_threads`]).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_threads(rhs, pool::compute_threads())
+    }
+
+    /// [`Matrix::matmul`] with an explicit worker count. Results are
+    /// bitwise identical for every `threads` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols(),
             rhs.rows(),
@@ -22,28 +47,54 @@ impl Matrix {
         let (m, k) = self.shape();
         let n = rhs.cols();
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (p, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(p);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let threads = if m * k * n < PAR_FLOPS_MIN {
+            1
+        } else {
+            threads
+        };
+        let lhs = self.as_slice();
+        let rhs_data = rhs.as_slice();
+        pool::par_row_chunks(threads, out.as_mut_slice(), n.max(1), |row0, chunk| {
+            // Blocked i-k-j: for each k block, stream the block's rhs rows
+            // over every row of the chunk. Per output element the adds run
+            // in ascending k order (blocks ascending, k within a block
+            // ascending) — the unblocked kernel's exact order.
+            for kb in (0..k).step_by(BLOCK_K) {
+                let kend = (kb + BLOCK_K).min(k);
+                for (i, out_row) in chunk.chunks_mut(n).enumerate() {
+                    let a_row = &lhs[(row0 + i) * k..(row0 + i + 1) * k];
+                    for (p, &a) in a_row[kb..kend].iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &rhs_data[(kb + p) * n..(kb + p + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
-        }
+        });
         out
     }
 
-    /// `self^T * rhs` without materialising the transpose.
+    /// `self^T * rhs` without materialising the transpose, on the global
+    /// worker count.
     ///
     /// # Panics
     ///
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_tn_threads(rhs, pool::compute_threads())
+    }
+
+    /// [`Matrix::matmul_tn`] with an explicit worker count. Results are
+    /// bitwise identical for every `threads` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.rows(),
             rhs.rows(),
@@ -51,31 +102,59 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
+        let rows = self.rows();
         let m = self.cols();
         let n = rhs.cols();
         let mut out = Matrix::zeros(m, n);
-        for p in 0..self.rows() {
-            let a_row = self.row(p);
-            let b_row = rhs.row(p);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let threads = if rows * m * n < PAR_FLOPS_MIN {
+            1
+        } else {
+            threads
+        };
+        let lhs = self.as_slice();
+        let rhs_data = rhs.as_slice();
+        pool::par_row_chunks(threads, out.as_mut_slice(), n.max(1), |row0, chunk| {
+            // Output row i is the reduction over p of lhs[p][i] * rhs[p].
+            // Blocking over p keeps a BLOCK_K x n window of rhs hot across
+            // the chunk's rows; per element the adds stay in ascending p
+            // order — the sequential p-i-j kernel's exact order.
+            for pb in (0..rows).step_by(BLOCK_K) {
+                let pend = (pb + BLOCK_K).min(rows);
+                for (i, out_row) in chunk.chunks_mut(n).enumerate() {
+                    let col = row0 + i;
+                    for p in pb..pend {
+                        let a = lhs[p * m + col];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &rhs_data[p * n..(p + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
-        }
+        });
         out
     }
 
-    /// `self * rhs^T` without materialising the transpose.
+    /// `self * rhs^T` without materialising the transpose, on the global
+    /// worker count.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.cols()`.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_nt_threads(rhs, pool::compute_threads())
+    }
+
+    /// [`Matrix::matmul_nt`] with an explicit worker count. Results are
+    /// bitwise identical for every `threads` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt_threads(&self, rhs: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols(),
             rhs.cols(),
@@ -84,20 +163,29 @@ impl Matrix {
             rhs.shape()
         );
         let m = self.rows();
+        let k = self.cols();
         let n = rhs.rows();
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate().take(n) {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        let threads = if m * k * n < PAR_FLOPS_MIN {
+            1
+        } else {
+            threads
+        };
+        let lhs = self.as_slice();
+        let rhs_data = rhs.as_slice();
+        pool::par_row_chunks(threads, out.as_mut_slice(), n.max(1), |row0, chunk| {
+            for (i, out_row) in chunk.chunks_mut(n).enumerate() {
+                let a_row = &lhs[(row0 + i) * k..(row0 + i + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &rhs_data[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
                 }
-                *o = acc;
             }
-        }
+        });
         out
     }
 

@@ -1,0 +1,104 @@
+//! Property tests: every threaded kernel is bitwise-identical to its
+//! sequential form at every worker count.
+//!
+//! The compute pool's determinism contract (fixed chunk boundaries, one
+//! writer per output element, fixed per-element reduction order) means
+//! the thread count may change scheduling but never bits. These
+//! properties pin that contract so a future "optimisation" that reorders
+//! a reduction fails loudly instead of silently breaking distributed /
+//! single-device training parity.
+
+use dgcl_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Random matrix with dimensions crossing several chunk boundaries
+/// (`CHUNK_ROWS` is 16) and values including exact zeros, so the
+/// zero-skip fast path is exercised.
+fn arb_matrix(
+    rows: core::ops::Range<usize>,
+    cols: core::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_map(|(r, c)| {
+        // Deterministic pseudo-random fill derived from the index; a
+        // quarter of entries are exactly zero.
+        let data: Vec<f32> = (0..r * c)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+                if h.is_multiple_of(4) {
+                    0.0
+                } else {
+                    (h % 1000) as f32 / 250.0 - 2.0
+                }
+            })
+            .collect();
+        Matrix::from_vec(r, c, data)
+    })
+}
+
+const THREADS: [usize; 5] = [1, 2, 3, 4, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_is_thread_count_invariant(
+        (a, b) in (arb_matrix(1..70, 1..20), 1usize..20)
+            .prop_map(|(a, n)| { let k = a.cols(); (a, arb_fixed(k, n)) })
+    ) {
+        let reference = a.matmul_threads(&b, 1);
+        prop_assert_eq!(&a.matmul(&b), &reference, "auto thread count");
+        for t in THREADS {
+            prop_assert_eq!(&a.matmul_threads(&b, t), &reference, "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_is_thread_count_invariant(
+        (a, b) in (arb_matrix(1..50, 1..20), 1usize..16)
+            .prop_map(|(a, n)| { let m = a.rows(); (a, arb_fixed(m, n)) })
+    ) {
+        let reference = a.matmul_tn_threads(&b, 1);
+        prop_assert_eq!(&a.matmul_tn(&b), &reference, "auto thread count");
+        for t in THREADS {
+            prop_assert_eq!(&a.matmul_tn_threads(&b, t), &reference, "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_is_thread_count_invariant(
+        (a, b) in (arb_matrix(1..50, 1..20), 1usize..16)
+            .prop_map(|(a, n)| { let k = a.cols(); (a, arb_fixed(n, k)) })
+    ) {
+        let reference = a.matmul_nt_threads(&b, 1);
+        prop_assert_eq!(&a.matmul_nt(&b), &reference, "auto thread count");
+        for t in THREADS {
+            prop_assert_eq!(&a.matmul_nt_threads(&b, t), &reference, "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn transpose_is_thread_count_invariant(a in arb_matrix(1..90, 1..40)) {
+        let reference = a.transpose_threads(1);
+        prop_assert_eq!(&a.transpose(), &reference, "auto thread count");
+        for t in THREADS {
+            prop_assert_eq!(&a.transpose_threads(t), &reference, "threads={}", t);
+        }
+        prop_assert_eq!(&reference.transpose(), &a, "involution");
+    }
+}
+
+/// Deterministic matrix of a fixed shape (used where one operand's shape
+/// must match the other's draw).
+fn arb_fixed(rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| {
+            let h = (i as u64 ^ 0xABCD).wrapping_mul(0x2545_F491_4F6C_DD1D) >> 41;
+            if h.is_multiple_of(5) {
+                0.0
+            } else {
+                (h % 777) as f32 / 111.0 - 3.5
+            }
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
