@@ -23,8 +23,9 @@ fn bench_allgather(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(dataset.name(), gpus), &gpus, |b, _| {
                 b.iter(|| {
                     run_cluster(&info, |handle| {
-                        handle.graph_allgather(&locals[handle.rank]).rows()
+                        Ok(handle.graph_allgather(&locals[handle.rank])?.rows())
                     })
+                    .expect("healthy cluster")
                 })
             });
         }

@@ -69,17 +69,19 @@ fn bench_allgather(c: &mut Criterion) {
     group.bench_function("compiled", |b| {
         b.iter(|| {
             dgcl::run_cluster(&info, |hdl| {
-                let full = hdl.graph_allgather(&per_device[hdl.rank]);
+                let full = hdl.graph_allgather(&per_device[hdl.rank])?;
                 hdl.scatter_backward(&full)
             })
+            .expect("healthy cluster")
         })
     });
     group.bench_function("reference", |b| {
         b.iter(|| {
             dgcl::run_cluster(&info, |hdl| {
-                let full = hdl.graph_allgather_reference(&per_device[hdl.rank]);
+                let full = hdl.graph_allgather_reference(&per_device[hdl.rank])?;
                 hdl.scatter_backward_reference(&full)
             })
+            .expect("healthy cluster")
         })
     });
     group.finish();

@@ -171,24 +171,30 @@ pub fn run(ctx: &mut RunContext) {
     let ops = if smoke { 2 } else { 5 };
     dgcl::run_cluster(&info, |hdl| {
         // Warm the fabric pool and per-thread state before timing.
-        let full = hdl.graph_allgather(&per_device[hdl.rank]);
-        std::hint::black_box(hdl.scatter_backward(&full));
-    });
+        let full = hdl.graph_allgather(&per_device[hdl.rank])?;
+        std::hint::black_box(hdl.scatter_backward(&full)?);
+        Ok(())
+    })
+    .expect("healthy cluster");
     let reference = time(reps, || {
         dgcl::run_cluster(&info, |hdl| {
             for _ in 0..ops {
-                let full = hdl.graph_allgather_reference(&per_device[hdl.rank]);
-                std::hint::black_box(hdl.scatter_backward_reference(&full));
+                let full = hdl.graph_allgather_reference(&per_device[hdl.rank])?;
+                std::hint::black_box(hdl.scatter_backward_reference(&full)?);
             }
-        });
+            Ok(())
+        })
+        .expect("healthy cluster");
     });
     let compiled = time(reps, || {
         dgcl::run_cluster(&info, |hdl| {
             for _ in 0..ops {
-                let full = hdl.graph_allgather(&per_device[hdl.rank]);
-                std::hint::black_box(hdl.scatter_backward(&full));
+                let full = hdl.graph_allgather(&per_device[hdl.rank])?;
+                std::hint::black_box(hdl.scatter_backward(&full)?);
             }
-        });
+            Ok(())
+        })
+        .expect("healthy cluster");
     });
     push(&mut records, &mut rows, "allgather", 1, compiled, reference);
 
@@ -219,7 +225,9 @@ pub fn run(ctx: &mut RunContext) {
         let info = build_comm_info(&g, Topology::fig6(), BuildOptions::default());
         let cfg = TrainConfig::new(Architecture::Gcn, &[feats, 8], 1);
         let secs = time(if smoke { 1 } else { 3 }, || {
-            std::hint::black_box(train_distributed(&info, &g, &features, &targets, &cfg));
+            std::hint::black_box(
+                train_distributed(&info, &g, &features, &targets, &cfg).expect("healthy cluster"),
+            );
         });
         epoch_rows.push(vec![
             dataset.name().to_string(),

@@ -8,6 +8,7 @@ use dgcl_plan::{spst_plan, CommPlan, SendRecvTables};
 use dgcl_tensor::Matrix;
 use dgcl_topology::Topology;
 
+use crate::error::RuntimeError;
 use crate::schedule::DeviceSchedule;
 
 /// Options for [`build_comm_info`].
@@ -66,9 +67,31 @@ pub struct CommInfo {
 ///
 /// # Panics
 ///
-/// Panics if the graph is empty or the produced plan fails validation
-/// (which would indicate a planner bug, not a user error).
+/// Panics if the graph is empty, the produced plan fails validation or
+/// the tables fail schedule compilation (either would indicate a planner
+/// bug, not a user error). Use [`try_build_comm_info`] to receive the
+/// compilation failure as a typed error instead.
 pub fn build_comm_info(graph: &CsrGraph, topology: Topology, options: BuildOptions) -> CommInfo {
+    try_build_comm_info(graph, topology, options)
+        .unwrap_or_else(|e| panic!("schedule compilation failed: {e}"))
+}
+
+/// [`build_comm_info`] returning schedule-compilation failures as
+/// [`RuntimeError::Protocol`] rather than panicking.
+///
+/// # Errors
+///
+/// [`RuntimeError::Protocol`] if the planner's tables ask a device to
+/// forward a vertex it never received.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or the produced plan fails validation.
+pub fn try_build_comm_info(
+    graph: &CsrGraph,
+    topology: Topology,
+    options: BuildOptions,
+) -> Result<CommInfo, RuntimeError> {
     assert!(graph.num_vertices() > 0, "graph must not be empty");
     let num_gpus = topology.num_gpus();
     let partition = if num_gpus == 1 {
@@ -89,11 +112,11 @@ pub fn build_comm_info(graph: &CsrGraph, topology: Topology, options: BuildOptio
     };
     let forward_schedules = (0..num_gpus)
         .map(|d| DeviceSchedule::forward(&forward_tables, d, pg.local_graph(d)))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let backward_schedules = (0..num_gpus)
         .map(|d| DeviceSchedule::backward(&backward_tables, d, pg.local_graph(d)))
-        .collect();
-    CommInfo {
+        .collect::<Result<_, _>>()?;
+    Ok(CommInfo {
         topology,
         pg,
         plan: outcome.plan,
@@ -103,7 +126,7 @@ pub fn build_comm_info(graph: &CsrGraph, topology: Topology, options: BuildOptio
         backward_schedules,
         planning_seconds: outcome.planning_seconds,
         estimated_allgather_seconds: outcome.cost.total_time(),
-    }
+    })
 }
 
 impl CommInfo {

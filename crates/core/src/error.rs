@@ -1,0 +1,170 @@
+//! Typed runtime failures.
+//!
+//! The paper's §6.1 protocol has no master in the data path, which means
+//! a failed device cannot be observed anywhere *except* at the peers it
+//! wedges. These types make that observation explicit: every collective
+//! returns [`RuntimeError`] instead of panicking or blocking forever, and
+//! [`crate::runtime::run_cluster`] folds the per-device outcomes into one
+//! [`ClusterError`] naming the originating rank and cause.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A failure inside one device's collective operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A peer did not make progress within the collective deadline.
+    Timeout {
+        /// The rank whose collective timed out (the waiter).
+        rank: usize,
+        /// The fabric operation that was waiting (`wait_ready`, `recv`,
+        /// `allreduce`).
+        op: &'static str,
+        /// What exactly was being waited for (peer, message key).
+        stage: String,
+    },
+    /// Another device failed first and poisoned the fabric.
+    Poisoned {
+        /// The rank whose failure poisoned the fabric.
+        origin: usize,
+        /// The originating failure, rendered.
+        reason: String,
+    },
+    /// The plan or a peer violated the communication protocol.
+    Protocol {
+        /// The rank that detected the violation.
+        rank: usize,
+        /// What was violated.
+        detail: String,
+    },
+    /// An injected crash from a [`crate::fault::FaultPlan`].
+    InjectedCrash {
+        /// The crashed rank.
+        rank: usize,
+        /// The operation index at which it crashed.
+        at_op: u64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Timeout { rank, op, stage } => {
+                write!(f, "rank {rank} timed out in {op} ({stage})")
+            }
+            RuntimeError::Poisoned { origin, reason } => {
+                write!(f, "fabric poisoned by rank {origin}: {reason}")
+            }
+            RuntimeError::Protocol { rank, detail } => {
+                write!(f, "protocol violation on rank {rank}: {detail}")
+            }
+            RuntimeError::InjectedCrash { rank, at_op } => {
+                write!(f, "injected crash of rank {rank} at op {at_op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Why one device thread failed: an unwound panic or a typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterFailure {
+    /// The device thread panicked; the payload rendered as text.
+    Panic(String),
+    /// The device returned a [`RuntimeError`].
+    Error(RuntimeError),
+}
+
+impl fmt::Display for ClusterFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterFailure::Panic(msg) => write!(f, "panic: {msg}"),
+            ClusterFailure::Error(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// The outcome of a failed cluster run: the originating rank, its
+/// failure, and what every other rank observed.
+#[derive(Debug, Clone)]
+pub struct ClusterError {
+    /// The rank whose failure poisoned the fabric first.
+    pub rank: usize,
+    /// The originating failure.
+    pub cause: ClusterFailure,
+    /// Per-rank outcome: `None` for ranks that completed before the
+    /// poison reached them, `Some` for ranks that failed.
+    pub per_rank: Vec<Option<ClusterFailure>>,
+    /// The collective deadline the run was configured with.
+    pub deadline: Duration,
+}
+
+impl ClusterError {
+    /// Ranks other than the originator that observed the failure.
+    pub fn surviving_errors(&self) -> impl Iterator<Item = (usize, &ClusterFailure)> {
+        self.per_rank
+            .iter()
+            .enumerate()
+            .filter(move |&(r, _)| r != self.rank)
+            .filter_map(|(r, e)| e.as_ref().map(|e| (r, e)))
+    }
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let failed = self.per_rank.iter().filter(|e| e.is_some()).count();
+        write!(
+            f,
+            "cluster failed: rank {} {} ({failed}/{} ranks failed)",
+            self.rank,
+            self.cause,
+            self.per_rank.len()
+        )
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_rank_and_cause() {
+        let e = ClusterError {
+            rank: 2,
+            cause: ClusterFailure::Error(RuntimeError::Timeout {
+                rank: 2,
+                op: "recv",
+                stage: "peer 1".to_string(),
+            }),
+            per_rank: vec![None, None, Some(ClusterFailure::Panic("boom".into())), None],
+            deadline: Duration::from_secs(5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 2"), "{s}");
+        assert!(s.contains("timed out"), "{s}");
+    }
+
+    #[test]
+    fn surviving_errors_skips_originator_and_completed() {
+        let poisoned = ClusterFailure::Error(RuntimeError::Poisoned {
+            origin: 1,
+            reason: "x".into(),
+        });
+        let e = ClusterError {
+            rank: 1,
+            cause: ClusterFailure::Panic("dead".into()),
+            per_rank: vec![
+                Some(poisoned.clone()),
+                Some(ClusterFailure::Panic("dead".into())),
+                None,
+                Some(poisoned),
+            ],
+            deadline: Duration::from_secs(5),
+        };
+        let survivors: Vec<usize> = e.surviving_errors().map(|(r, _)| r).collect();
+        assert_eq!(survivors, vec![0, 3]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Deterministic fault injection at the fabric boundary.
+//!
+//! A [`FaultPlan`] is a fixed list of [`FaultEvent`]s applied while the
+//! cluster runs: crash a rank when it reaches a given collective, delay a
+//! message, deliver it twice, or hold it back past the link's next
+//! message (reorder). Plans are plain data — the same plan replays the
+//! same faults — and [`FaultPlan::seeded`] derives a random benign
+//! (delay/duplicate/reorder only) plan from a seed, which the chaos suite
+//! uses to assert the §6.1 flag protocol's central claim: message timing
+//! and delivery order never change training results, only crashes do.
+//!
+//! The same events mirror into the performance simulator via
+//! [`FaultPlan::mirror_sim`], so wall-clock models and the real runtime
+//! can be subjected to one fault description.
+
+use std::time::Duration;
+
+use dgcl_sim::faults::{SimFault, SimFaultPlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Rank `rank` fails permanently when it starts collective `at_op`
+    /// (1-based operation counter; every collective increments it).
+    Crash {
+        /// The rank to crash.
+        rank: usize,
+        /// The operation index at which to crash.
+        at_op: u64,
+    },
+    /// Messages from `src` to `dst` in plan stage `stage` are delayed by
+    /// `delay` before delivery (the sender blocks, like a slow link).
+    Delay {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Plan stage of the message.
+        stage: u32,
+        /// Added link latency.
+        delay: Duration,
+    },
+    /// Messages from `src` to `dst` in plan stage `stage` are delivered
+    /// twice (the duplicate must be absorbed by the keyed protocol).
+    Duplicate {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Plan stage of the message.
+        stage: u32,
+    },
+    /// Messages from `src` to `dst` in plan stage `stage` are held back
+    /// until the link's next message (or until the receiver demands
+    /// them), arriving out of order.
+    Reorder {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Plan stage of the message.
+        stage: u32,
+    },
+}
+
+/// A deterministic set of faults to inject into one cluster run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The events, applied whenever a message or operation matches.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A plan that crashes `rank` when it reaches collective `at_op`.
+    pub fn crash(rank: usize, at_op: u64) -> Self {
+        Self {
+            events: vec![FaultEvent::Crash { rank, at_op }],
+        }
+    }
+
+    /// A random *benign* plan (delays, duplicates and reorders — no
+    /// crashes) over `num_devices` ranks, derived deterministically from
+    /// `seed`. Benign plans must never change training results.
+    pub fn seeded(seed: u64, num_devices: usize, num_events: usize, max_delay: Duration) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::with_capacity(num_events);
+        for _ in 0..num_events {
+            if num_devices < 2 {
+                break;
+            }
+            let src = rng.gen_range(0..num_devices);
+            let mut dst = rng.gen_range(0..num_devices - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            let stage = rng.gen_range(0..4u32);
+            events.push(match rng.gen_range(0..3u8) {
+                0 => FaultEvent::Delay {
+                    src,
+                    dst,
+                    stage,
+                    delay: Duration::from_micros(
+                        rng.gen_range(0..max_delay.as_micros().max(1) as u64),
+                    ),
+                },
+                1 => FaultEvent::Duplicate { src, dst, stage },
+                _ => FaultEvent::Reorder { src, dst, stage },
+            });
+        }
+        Self { events }
+    }
+
+    /// Whether every event is benign (no crashes).
+    pub fn is_benign(&self) -> bool {
+        !self
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Crash { .. }))
+    }
+
+    /// The earliest op at which `rank` is scheduled to crash, if any.
+    pub fn crash_at(&self, rank: usize) -> Option<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Crash { rank: r, at_op } if *r == rank => Some(*at_op),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Total injected delay for a `(src, dst, stage)` message.
+    pub fn delay_for(&self, src: usize, dst: usize, stage: u32) -> Duration {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Delay {
+                    src: s,
+                    dst: d,
+                    stage: st,
+                    delay,
+                } if (*s, *d, *st) == (src, dst, stage) => Some(*delay),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Whether a `(src, dst, stage)` message is delivered twice.
+    pub fn duplicates(&self, src: usize, dst: usize, stage: u32) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e, FaultEvent::Duplicate { src: s, dst: d, stage: st }
+                if (*s, *d, *st) == (src, dst, stage))
+        })
+    }
+
+    /// Whether a `(src, dst, stage)` message is held for reordering.
+    pub fn reorders(&self, src: usize, dst: usize, stage: u32) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e, FaultEvent::Reorder { src: s, dst: d, stage: st }
+                if (*s, *d, *st) == (src, dst, stage))
+        })
+    }
+
+    /// Mirrors the plan into the performance simulator's fault events so
+    /// `dgcl-sim` can replay the same scenario against the fluid network
+    /// model (crash op indices map onto plan stages 1:1 there).
+    pub fn mirror_sim(&self) -> SimFaultPlan {
+        SimFaultPlan {
+            events: self
+                .events
+                .iter()
+                .map(|e| match *e {
+                    FaultEvent::Crash { rank, at_op } => SimFault::Crash {
+                        rank,
+                        stage: at_op.saturating_sub(1) as usize,
+                    },
+                    FaultEvent::Delay {
+                        src,
+                        dst,
+                        stage,
+                        delay,
+                    } => SimFault::Delay {
+                        src,
+                        dst,
+                        stage: stage as usize,
+                        seconds: delay.as_secs_f64(),
+                    },
+                    FaultEvent::Duplicate { src, dst, stage } => SimFault::Duplicate {
+                        src,
+                        dst,
+                        stage: stage as usize,
+                    },
+                    FaultEvent::Reorder { src, dst, stage } => SimFault::Reorder {
+                        src,
+                        dst,
+                        stage: stage as usize,
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_benign() {
+        let a = FaultPlan::seeded(9, 4, 8, Duration::from_millis(5));
+        let b = FaultPlan::seeded(9, 4, 8, Duration::from_millis(5));
+        assert_eq!(a, b, "same seed, same plan");
+        assert!(a.is_benign());
+        assert_eq!(a.events.len(), 8);
+        let c = FaultPlan::seeded(10, 4, 8, Duration::from_millis(5));
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn crash_at_picks_earliest_op() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent::Crash { rank: 1, at_op: 7 },
+                FaultEvent::Crash { rank: 1, at_op: 3 },
+                FaultEvent::Crash { rank: 2, at_op: 1 },
+            ],
+        };
+        assert_eq!(plan.crash_at(1), Some(3));
+        assert_eq!(plan.crash_at(2), Some(1));
+        assert_eq!(plan.crash_at(0), None);
+        assert!(!plan.is_benign());
+    }
+
+    #[test]
+    fn delays_accumulate_per_link_stage() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent::Delay {
+                    src: 0,
+                    dst: 1,
+                    stage: 2,
+                    delay: Duration::from_millis(3),
+                },
+                FaultEvent::Delay {
+                    src: 0,
+                    dst: 1,
+                    stage: 2,
+                    delay: Duration::from_millis(4),
+                },
+            ],
+        };
+        assert_eq!(plan.delay_for(0, 1, 2), Duration::from_millis(7));
+        assert_eq!(plan.delay_for(1, 0, 2), Duration::ZERO);
+    }
+
+    #[test]
+    fn mirror_sim_translates_every_event() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent::Crash { rank: 2, at_op: 3 },
+                FaultEvent::Duplicate {
+                    src: 0,
+                    dst: 1,
+                    stage: 0,
+                },
+            ],
+        };
+        let sim = plan.mirror_sim();
+        assert_eq!(sim.events.len(), 2);
+        assert!(matches!(
+            sim.events[0],
+            SimFault::Crash { rank: 2, stage: 2 }
+        ));
+    }
+}

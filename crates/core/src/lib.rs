@@ -21,6 +21,14 @@
 //! | `dispatch_features(features)` | [`CommInfo::dispatch_features`] |
 //! | `graph_allgather(embeddings)` | [`runtime::DeviceHandle::graph_allgather`] |
 //!
+//! Beyond the paper, the runtime makes failure a first-class outcome: a
+//! device that errors, panics or crashes poisons the shared [`fabric`],
+//! every blocked peer unwinds with a typed [`RuntimeError`], and
+//! [`run_cluster`] reports one [`ClusterError`] naming the originating
+//! rank — the cluster never hangs. The [`fault`] module injects
+//! deterministic crash/delay/duplicate/reorder faults for the chaos test
+//! suite.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,7 +46,8 @@
 //! let features = init.features(n, 8);
 //! let targets = init.features(n, 4);
 //! let cfg = TrainConfig::new(Architecture::Gcn, &[8, 4], 2);
-//! let dist = train_distributed(&info, &graph, &features, &targets, &cfg);
+//! let dist = train_distributed(&info, &graph, &features, &targets, &cfg)
+//!     .expect("healthy cluster");
 //! let single = train_single(&graph, &features, &targets, &cfg);
 //! let diff: f32 = dist
 //!     .epoch_losses
@@ -50,10 +59,15 @@
 //! ```
 
 pub mod comm_info;
+pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod runtime;
 pub mod schedule;
 pub mod trainer;
 
-pub use comm_info::{build_comm_info, BuildOptions, CommInfo};
-pub use runtime::{run_cluster, DeviceHandle};
+pub use comm_info::{build_comm_info, try_build_comm_info, BuildOptions, CommInfo};
+pub use error::{ClusterError, ClusterFailure, RuntimeError};
+pub use fabric::{Fabric, FabricConfig};
+pub use fault::{FaultEvent, FaultPlan};
+pub use runtime::{run_cluster, run_cluster_with, DeviceHandle};

@@ -1,5 +1,11 @@
 //! The per-device runtime: graph allgather, backward scatter and model
 //! allreduce over the shared fabric.
+//!
+//! Every collective returns `Result<_, RuntimeError>`: a protocol
+//! violation, an injected crash, a poisoned fabric or a missed deadline
+//! surfaces as a typed error on every rank instead of a hang or an
+//! opaque panic. [`run_cluster`] catches per-device panics and folds all
+//! failures into one [`ClusterError`] naming the originating rank.
 
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -11,7 +17,8 @@ use dgcl_plan::tuples::SendRecvTables;
 use dgcl_tensor::Matrix;
 
 use crate::comm_info::CommInfo;
-use crate::fabric::{Fabric, MsgKey};
+use crate::error::{ClusterError, ClusterFailure, RuntimeError};
+use crate::fabric::{Fabric, FabricConfig, MsgKey};
 
 /// A device's view of the cluster: its rank, its local graph and the
 /// collective operations of the paper's client API.
@@ -47,10 +54,45 @@ impl<'a> DeviceHandle<'a> {
         self.info
     }
 
-    fn next_op(&self) -> u64 {
+    /// The fabric this device communicates over.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Enters the next collective: bumps the operation counter, fires any
+    /// injected crash scheduled for this rank, refuses to start on a
+    /// poisoned fabric, and publishes the ready flag.
+    fn begin_op(&self) -> Result<u64, RuntimeError> {
         let op = self.op_counter.get() + 1;
         self.op_counter.set(op);
-        op
+        if let Some(at_op) = self.fabric.config().faults.crash_at(self.rank) {
+            if op >= at_op {
+                let err = RuntimeError::InjectedCrash {
+                    rank: self.rank,
+                    at_op,
+                };
+                self.fabric
+                    .poison(self.rank, ClusterFailure::Error(err.clone()));
+                return Err(err);
+            }
+        }
+        self.fabric.check_poison()?;
+        self.fabric.set_ready(self.rank, op);
+        Ok(op)
+    }
+
+    /// Poisons the fabric with any error the device itself originated, so
+    /// peers blocked on this rank unwind instead of waiting out their
+    /// deadline. Poison-propagation errors pass through untouched (the
+    /// origin already recorded itself).
+    fn poison_on_err<T>(&self, result: Result<T, RuntimeError>) -> Result<T, RuntimeError> {
+        if let Err(e) = &result {
+            if !matches!(e, RuntimeError::Poisoned { .. }) {
+                self.fabric
+                    .poison(self.rank, ClusterFailure::Error(e.clone()));
+            }
+        }
+        result
     }
 
     /// The paper's `graph_allgather`: sends the embeddings other devices
@@ -69,15 +111,25 @@ impl<'a> DeviceHandle<'a> {
     /// Blocking and synchronous: returns only when every stage of the
     /// plan has completed on this device.
     ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; an error originated here also poisons the
+    /// fabric so peers unwind.
+    ///
     /// # Panics
     ///
-    /// Panics if `local` does not have exactly `num_local` rows.
-    pub fn graph_allgather(&self, local: &Matrix) -> Matrix {
+    /// Panics if `local` does not have exactly `num_local` rows (caller
+    /// API misuse, not a cluster condition).
+    pub fn graph_allgather(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
+        let r = self.graph_allgather_inner(local);
+        self.poison_on_err(r)
+    }
+
+    fn graph_allgather_inner(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
         let lg = self.local_graph();
         assert_eq!(local.rows(), lg.num_local, "expected local rows only");
         let cols = local.cols();
-        let op = self.next_op();
-        self.fabric.set_ready(self.rank, op);
+        let op = self.begin_op()?;
         let num_total = lg.num_total();
         let mut out = Matrix::zeros(num_total, cols);
         out.as_mut_slice()[..lg.num_local * cols].copy_from_slice(local.as_slice());
@@ -94,7 +146,7 @@ impl<'a> DeviceHandle<'a> {
                     continue;
                 }
                 let peer = ios[idx].peer;
-                self.fabric.wait_ready(peer, op);
+                self.fabric.wait_ready(peer, op, self.rank)?;
                 let mut payload = self.fabric.checkout(refs.len() * cols);
                 for &r in refs {
                     let r = r as usize;
@@ -106,15 +158,15 @@ impl<'a> DeviceHandle<'a> {
                     };
                     payload.extend_from_slice(row);
                 }
-                self.fabric.send(self.rank, peer, key, payload);
+                self.fabric.send(self.rank, peer, key, payload)?;
             }
             for idx in group.ios.clone() {
                 let refs = &sched.recv_refs[idx];
                 if refs.is_empty() {
                     continue;
                 }
-                let payload = self.fabric.recv(ios[idx].peer, self.rank, key);
-                assert_eq!(payload.len(), refs.len() * cols, "payload size");
+                let payload = self.fabric.recv(ios[idx].peer, self.rank, key)?;
+                self.expect_payload(payload.len(), refs.len() * cols, key)?;
                 for (i, &r) in refs.iter().enumerate() {
                     let row = &payload[i * cols..(i + 1) * cols];
                     let r = r as usize;
@@ -129,7 +181,20 @@ impl<'a> DeviceHandle<'a> {
             }
         }
         self.fabric.recycle(relay);
-        out
+        Ok(out)
+    }
+
+    /// Flags a payload whose length disagrees with the schedule — a
+    /// protocol bug, never a user error.
+    fn expect_payload(&self, got: usize, want: usize, key: MsgKey) -> Result<(), RuntimeError> {
+        if got == want {
+            Ok(())
+        } else {
+            Err(RuntimeError::Protocol {
+                rank: self.rank,
+                detail: format!("payload for {key:?} has {got} floats, schedule expects {want}"),
+            })
+        }
     }
 
     /// The uncompiled table-walking `graph_allgather` this runtime
@@ -137,15 +202,23 @@ impl<'a> DeviceHandle<'a> {
     /// vertex id per operation. Kept as the reference implementation the
     /// compiled path is property-tested (and benchmarked) against.
     ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; see [`DeviceHandle::graph_allgather`].
+    ///
     /// # Panics
     ///
     /// Panics if `local` does not have exactly `num_local` rows.
-    pub fn graph_allgather_reference(&self, local: &Matrix) -> Matrix {
+    pub fn graph_allgather_reference(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
+        let r = self.graph_allgather_reference_inner(local);
+        self.poison_on_err(r)
+    }
+
+    fn graph_allgather_reference_inner(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
         let lg = self.local_graph();
         assert_eq!(local.rows(), lg.num_local, "expected local rows only");
         let cols = local.cols();
-        let op = self.next_op();
-        self.fabric.set_ready(self.rank, op);
+        let op = self.begin_op()?;
         let mut out = Matrix::zeros(lg.num_total(), cols);
         for r in 0..lg.num_local {
             out.set_row(r, local.row(r));
@@ -163,24 +236,28 @@ impl<'a> DeviceHandle<'a> {
                 if io.send.is_empty() {
                     continue;
                 }
-                self.fabric.wait_ready(io.peer, op);
+                self.fabric.wait_ready(io.peer, op, self.rank)?;
                 let mut payload = Vec::with_capacity(io.send.len() * cols);
                 for &v in &io.send {
                     match lg.local_id(v) {
                         Some(li) => payload.extend_from_slice(out.row(li)),
-                        None => payload.extend_from_slice(relay.get(&v).unwrap_or_else(|| {
-                            panic!("device {} lacks vertex {v} to forward", self.rank)
-                        })),
+                        None => {
+                            let row = relay.get(&v).ok_or_else(|| RuntimeError::Protocol {
+                                rank: self.rank,
+                                detail: format!("device {} lacks vertex {v} to forward", self.rank),
+                            })?;
+                            payload.extend_from_slice(row);
+                        }
                     }
                 }
-                self.fabric.send(self.rank, io.peer, key, payload);
+                self.fabric.send(self.rank, io.peer, key, payload)?;
             }
             for io in &ios {
                 if io.recv.is_empty() {
                     continue;
                 }
-                let payload = self.fabric.recv(io.peer, self.rank, key);
-                assert_eq!(payload.len(), io.recv.len() * cols, "payload size");
+                let payload = self.fabric.recv(io.peer, self.rank, key)?;
+                self.expect_payload(payload.len(), io.recv.len() * cols, key)?;
                 for (i, &v) in io.recv.iter().enumerate() {
                     let row = &payload[i * cols..(i + 1) * cols];
                     match lg.local_id(v) {
@@ -192,7 +269,7 @@ impl<'a> DeviceHandle<'a> {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// The backward counterpart of [`DeviceHandle::graph_allgather`]:
@@ -207,15 +284,23 @@ impl<'a> DeviceHandle<'a> {
     /// Bitwise-identical to
     /// [`DeviceHandle::scatter_backward_reference`].
     ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; see [`DeviceHandle::graph_allgather`].
+    ///
     /// # Panics
     ///
     /// Panics if `grad_full` does not have `num_total` rows.
-    pub fn scatter_backward(&self, grad_full: &Matrix) -> Matrix {
+    pub fn scatter_backward(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
+        let r = self.scatter_backward_inner(grad_full);
+        self.poison_on_err(r)
+    }
+
+    fn scatter_backward_inner(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
         let lg = self.local_graph();
         assert_eq!(grad_full.rows(), lg.num_total(), "expected full rows");
         let cols = grad_full.cols();
-        let op = self.next_op();
-        self.fabric.set_ready(self.rank, op);
+        let op = self.begin_op()?;
         let num_local = lg.num_local;
         let mut grad_local = grad_full.head_rows(num_local);
         let sched = &self.info.backward_schedules[self.rank];
@@ -235,7 +320,7 @@ impl<'a> DeviceHandle<'a> {
                     continue;
                 }
                 let peer = ios[idx].peer;
-                self.fabric.wait_ready(peer, op);
+                self.fabric.wait_ready(peer, op, self.rank)?;
                 let mut payload = self.fabric.checkout(refs.len() * cols);
                 for &r in refs {
                     let r = r as usize;
@@ -247,15 +332,15 @@ impl<'a> DeviceHandle<'a> {
                     };
                     payload.extend_from_slice(row);
                 }
-                self.fabric.send(self.rank, peer, key, payload);
+                self.fabric.send(self.rank, peer, key, payload)?;
             }
             for idx in group.ios.clone() {
                 let refs = &sched.recv_refs[idx];
                 if refs.is_empty() {
                     continue;
                 }
-                let payload = self.fabric.recv(ios[idx].peer, self.rank, key);
-                assert_eq!(payload.len(), refs.len() * cols, "payload size");
+                let payload = self.fabric.recv(ios[idx].peer, self.rank, key)?;
+                self.expect_payload(payload.len(), refs.len() * cols, key)?;
                 for (i, &r) in refs.iter().enumerate() {
                     let row = &payload[i * cols..(i + 1) * cols];
                     let r = r as usize;
@@ -273,21 +358,29 @@ impl<'a> DeviceHandle<'a> {
             }
         }
         self.fabric.recycle(acc);
-        grad_local
+        Ok(grad_local)
     }
 
     /// The uncompiled table-walking backward pass (see
     /// [`DeviceHandle::graph_allgather_reference`]).
     ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; see [`DeviceHandle::graph_allgather`].
+    ///
     /// # Panics
     ///
     /// Panics if `grad_full` does not have `num_total` rows.
-    pub fn scatter_backward_reference(&self, grad_full: &Matrix) -> Matrix {
+    pub fn scatter_backward_reference(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
+        let r = self.scatter_backward_reference_inner(grad_full);
+        self.poison_on_err(r)
+    }
+
+    fn scatter_backward_reference_inner(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
         let lg = self.local_graph();
         assert_eq!(grad_full.rows(), lg.num_total(), "expected full rows");
         let cols = grad_full.cols();
-        let op = self.next_op();
-        self.fabric.set_ready(self.rank, op);
+        let op = self.begin_op()?;
         let mut grad_local = grad_full.head_rows(lg.num_local);
         // Accumulators for non-owned vertices: seeded with this device's
         // own consumption gradient for its remote vertices; relayed
@@ -307,7 +400,7 @@ impl<'a> DeviceHandle<'a> {
                 if io.send.is_empty() {
                     continue;
                 }
-                self.fabric.wait_ready(io.peer, op);
+                self.fabric.wait_ready(io.peer, op, self.rank)?;
                 let mut payload = Vec::with_capacity(io.send.len() * cols);
                 for &v in &io.send {
                     match acc.get(&v) {
@@ -317,14 +410,14 @@ impl<'a> DeviceHandle<'a> {
                         None => payload.extend(std::iter::repeat_n(0.0, cols)),
                     }
                 }
-                self.fabric.send(self.rank, io.peer, key, payload);
+                self.fabric.send(self.rank, io.peer, key, payload)?;
             }
             for io in &ios {
                 if io.recv.is_empty() {
                     continue;
                 }
-                let payload = self.fabric.recv(io.peer, self.rank, key);
-                assert_eq!(payload.len(), io.recv.len() * cols, "payload size");
+                let payload = self.fabric.recv(io.peer, self.rank, key)?;
+                self.expect_payload(payload.len(), io.recv.len() * cols, key)?;
                 for (i, &v) in io.recv.iter().enumerate() {
                     let row = &payload[i * cols..(i + 1) * cols];
                     match lg.local_id(v) {
@@ -343,29 +436,69 @@ impl<'a> DeviceHandle<'a> {
                 }
             }
         }
-        grad_local
+        Ok(grad_local)
     }
 
     /// Element-wise sum of `mats` across all devices (model-gradient
     /// synchronisation). Every device receives the identical result.
-    pub fn allreduce(&self, mats: Vec<Matrix>) -> Vec<Matrix> {
-        self.fabric.allreduce(self.rank, mats)
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; see [`DeviceHandle::graph_allgather`].
+    pub fn allreduce(&self, mats: Vec<Matrix>) -> Result<Vec<Matrix>, RuntimeError> {
+        let r = self
+            .begin_op()
+            .and_then(|_| self.fabric.allreduce(self.rank, mats));
+        self.poison_on_err(r)
     }
 }
 
-/// Runs `body` once per device on its own thread and returns the results
-/// in rank order.
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `body` once per device on its own thread with a default-config
+/// fabric and returns the results in rank order.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any device thread panics.
-pub fn run_cluster<R, F>(info: &CommInfo, body: F) -> Vec<R>
+/// [`ClusterError`] naming the first rank whose error or panic poisoned
+/// the fabric, with the per-rank outcome of every device. No failure
+/// mode hangs: peers of a dead device unwind via poison or deadline.
+pub fn run_cluster<R, F>(info: &CommInfo, body: F) -> Result<Vec<R>, ClusterError>
 where
     R: Send,
-    F: Fn(DeviceHandle<'_>) -> R + Sync,
+    F: Fn(DeviceHandle<'_>) -> Result<R, RuntimeError> + Sync,
 {
-    let fabric = Arc::new(Fabric::new(info.num_devices()));
-    let mut results: Vec<Option<R>> = (0..info.num_devices()).map(|_| None).collect();
+    run_cluster_with(info, FabricConfig::default(), body)
+}
+
+/// [`run_cluster`] with an explicit fabric configuration (collective
+/// deadline, recycle-pool caps, fault plan).
+///
+/// # Errors
+///
+/// See [`run_cluster`].
+pub fn run_cluster_with<R, F>(
+    info: &CommInfo,
+    config: FabricConfig,
+    body: F,
+) -> Result<Vec<R>, ClusterError>
+where
+    R: Send,
+    F: Fn(DeviceHandle<'_>) -> Result<R, RuntimeError> + Sync,
+{
+    let deadline = config.collective_deadline;
+    let fabric = Arc::new(Fabric::with_config(info.num_devices(), config));
+    let mut outcomes: Vec<Option<Result<R, ClusterFailure>>> =
+        (0..info.num_devices()).map(|_| None).collect();
     crossbeam::thread::scope(|scope| {
         let mut joins = Vec::new();
         for rank in 0..info.num_devices() {
@@ -375,22 +508,71 @@ where
                 let handle = DeviceHandle {
                     rank,
                     info,
-                    fabric,
+                    fabric: fabric.clone(),
                     op_counter: Cell::new(0),
                 };
-                (rank, body(handle))
+                let caught =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(handle)));
+                let outcome = match caught {
+                    Ok(Ok(r)) => Ok(r),
+                    Ok(Err(e)) => {
+                        // Normally already poisoned by the collective;
+                        // first-wins makes re-poisoning harmless and
+                        // covers errors the body constructed itself.
+                        if !matches!(e, RuntimeError::Poisoned { .. }) {
+                            fabric.poison(rank, ClusterFailure::Error(e.clone()));
+                        }
+                        Err(ClusterFailure::Error(e))
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(payload);
+                        fabric.poison(rank, ClusterFailure::Panic(msg.clone()));
+                        Err(ClusterFailure::Panic(msg))
+                    }
+                };
+                (rank, outcome)
             }));
         }
+        // In-order join is safe: every thread terminates — failures
+        // poison the fabric, waking all waits, and every wait is
+        // deadline-bounded besides.
         for join in joins {
-            let (rank, r) = join.join().expect("device thread panicked");
-            results[rank] = Some(r);
+            let (rank, outcome) = join.join().expect("device wrapper cannot panic");
+            outcomes[rank] = Some(outcome);
         }
     })
     .expect("cluster scope");
-    results
+    let outcomes: Vec<Result<R, ClusterFailure>> = outcomes
         .into_iter()
-        .map(|r| r.expect("all ranks ran"))
-        .collect()
+        .map(|o| o.expect("all ranks ran"))
+        .collect();
+    if outcomes.iter().all(Result::is_ok) {
+        return Ok(outcomes
+            .into_iter()
+            .map(|o| match o {
+                Ok(r) => r,
+                Err(_) => unreachable!("checked all ok"),
+            })
+            .collect());
+    }
+    let per_rank: Vec<Option<ClusterFailure>> =
+        outcomes.iter().map(|o| o.as_ref().err().cloned()).collect();
+    // The poison record names the *first* failure; a rank that returned
+    // Ok before the fabric was poisoned (then failed nothing) cannot be
+    // in it, so fall back to the lowest failing rank if needed.
+    let (rank, cause) = fabric.poison_info().unwrap_or_else(|| {
+        outcomes
+            .iter()
+            .enumerate()
+            .find_map(|(r, o)| o.as_ref().err().map(|e| (r, e.clone())))
+            .expect("some rank failed")
+    });
+    Err(ClusterError {
+        rank,
+        cause,
+        per_rank,
+        deadline,
+    })
 }
 
 #[cfg(test)]
@@ -419,7 +601,8 @@ mod tests {
         let per_device = info.dispatch_features(&features);
         let gathered = run_cluster(&info, |handle| {
             handle.graph_allgather(&per_device[handle.rank])
-        });
+        })
+        .expect("healthy cluster");
         for (d, full) in gathered.iter().enumerate() {
             let lg = info.pg.local_graph(d);
             for (li, &v) in lg.global_ids.iter().enumerate() {
@@ -441,7 +624,8 @@ mod tests {
             let lg = handle.local_graph();
             let grad_full = Matrix::full(lg.num_total(), 1, 1.0);
             handle.scatter_backward(&grad_full)
-        });
+        })
+        .expect("healthy cluster");
         for (d, grad) in grads.iter().enumerate() {
             for (i, &v) in info.pg.local[d].iter().enumerate() {
                 let consumers = (0..info.num_devices())
@@ -468,7 +652,7 @@ mod tests {
         let per_device_x = info.dispatch_features(&x);
         let results = run_cluster(&info, |handle| {
             let lg = handle.local_graph();
-            let gathered = handle.graph_allgather(&per_device_x[handle.rank]);
+            let gathered = handle.graph_allgather(&per_device_x[handle.rank])?;
             // y: deterministic pseudo-gradient over the full visible set.
             let mut y = Matrix::zeros(lg.num_total(), 3);
             for (li, &v) in lg.global_ids.iter().enumerate() {
@@ -477,9 +661,10 @@ mod tests {
                 }
             }
             let lhs: f32 = gathered.hadamard(&y).sum();
-            let scattered = handle.scatter_backward(&y);
-            (lhs, scattered)
-        });
+            let scattered = handle.scatter_backward(&y)?;
+            Ok((lhs, scattered))
+        })
+        .expect("healthy cluster");
         let lhs_total: f32 = results.iter().map(|(l, _)| *l).sum();
         let mut rhs_total = 0.0f32;
         for (d, (_, scattered)) in results.iter().enumerate() {
@@ -504,8 +689,8 @@ mod tests {
         let per_device = info.dispatch_features(&x);
         let ok = run_cluster(&info, |handle| {
             let lg = handle.local_graph();
-            let fast = handle.graph_allgather(&per_device[handle.rank]);
-            let slow = handle.graph_allgather_reference(&per_device[handle.rank]);
+            let fast = handle.graph_allgather(&per_device[handle.rank])?;
+            let slow = handle.graph_allgather_reference(&per_device[handle.rank])?;
             assert_eq!(fast, slow, "allgather parity on rank {}", handle.rank);
             let mut grad = Matrix::zeros(lg.num_total(), 4);
             for (li, &v) in lg.global_ids.iter().enumerate() {
@@ -513,11 +698,12 @@ mod tests {
                     grad[(li, c)] = ((v as usize * 13 + c * 5 + handle.rank) % 7) as f32 * 0.25;
                 }
             }
-            let fast_b = handle.scatter_backward(&grad);
-            let slow_b = handle.scatter_backward_reference(&grad);
+            let fast_b = handle.scatter_backward(&grad)?;
+            let slow_b = handle.scatter_backward_reference(&grad)?;
             assert_eq!(fast_b, slow_b, "backward parity on rank {}", handle.rank);
-            true
-        });
+            Ok(true)
+        })
+        .expect("healthy cluster");
         assert_eq!(ok, vec![true; info.num_devices()]);
     }
 
@@ -528,11 +714,12 @@ mod tests {
             let lg = handle.local_graph();
             let local = Matrix::full(lg.num_local, 1, handle.rank as f32);
             for _ in 0..3 {
-                let out = handle.graph_allgather(&local);
+                let out = handle.graph_allgather(&local)?;
                 assert_eq!(out.rows(), lg.num_total());
             }
-            3
-        });
+            Ok(3)
+        })
+        .expect("healthy cluster");
         assert_eq!(counts, vec![3; info.num_devices()]);
     }
 
@@ -554,15 +741,16 @@ mod tests {
                 std::thread::sleep(std::time::Duration::from_millis(
                     (handle.rank as u64 * 7 + round) % 11,
                 ));
-                let out = handle.graph_allgather(&per_device[handle.rank]);
+                let out = handle.graph_allgather(&per_device[handle.rank])?;
                 std::thread::sleep(std::time::Duration::from_millis(
                     (11 - handle.rank as u64) % 5,
                 ));
-                let grads = handle.scatter_backward(&out);
+                let grads = handle.scatter_backward(&out)?;
                 assert_eq!(grads.rows(), handle.local_graph().num_local);
             }
             handle.graph_allgather(&per_device[handle.rank])
-        });
+        })
+        .expect("healthy cluster");
         for (d, full) in gathered.iter().enumerate() {
             let lg = info.pg.local_graph(d);
             for (li, &v) in lg.global_ids.iter().enumerate() {
@@ -583,12 +771,72 @@ mod tests {
         let per_device = info.dispatch_features(&features);
         let gathered = run_cluster(&info, |handle| {
             handle.graph_allgather(&per_device[handle.rank])
-        });
+        })
+        .expect("healthy cluster");
         for (d, full) in gathered.iter().enumerate() {
             let lg = info.pg.local_graph(d);
             for (li, &v) in lg.global_ids.iter().enumerate() {
                 assert_eq!(full.row(li)[0], v as f32, "device {d} vertex {v}");
             }
         }
+    }
+
+    #[test]
+    fn body_error_fails_the_whole_cluster() {
+        let (_, info) = setup();
+        let err = run_cluster(&info, |handle| {
+            if handle.rank == 1 {
+                return Err(RuntimeError::Protocol {
+                    rank: 1,
+                    detail: "synthetic failure".to_string(),
+                });
+            }
+            handle.allreduce(Vec::new())?;
+            Ok(())
+        })
+        .expect_err("rank 1 fails");
+        assert_eq!(err.rank, 1);
+        assert!(
+            matches!(
+                err.cause,
+                ClusterFailure::Error(RuntimeError::Protocol { rank: 1, .. })
+            ),
+            "{err}"
+        );
+        assert!(err.per_rank[1].is_some(), "rank 1 recorded as failed");
+        // Peers were blocked in allreduce and unwound via poison.
+        for (r, outcome) in err.per_rank.iter().enumerate() {
+            if r != 1 {
+                assert!(
+                    matches!(
+                        outcome,
+                        Some(ClusterFailure::Error(RuntimeError::Poisoned {
+                            origin: 1,
+                            ..
+                        }))
+                    ),
+                    "rank {r}: {outcome:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_crash_surfaces_on_every_rank() {
+        let (_, info) = setup();
+        let cfg = FabricConfig {
+            faults: crate::fault::FaultPlan::crash(2, 1),
+            ..FabricConfig::default()
+        };
+        let err = run_cluster_with(&info, cfg, |handle| handle.allreduce(Vec::new()))
+            .expect_err("rank 2 crashes");
+        assert_eq!(err.rank, 2);
+        assert!(
+            matches!(
+                err.cause,
+                ClusterFailure::Error(RuntimeError::InjectedCrash { rank: 2, at_op: 1 })
+            ),
+            "{err}"
+        );
     }
 }

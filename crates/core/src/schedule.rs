@@ -39,6 +39,8 @@ use dgcl_graph::VertexId;
 use dgcl_partition::relation::LocalGraph;
 use dgcl_plan::tuples::SendRecvTables;
 
+use crate::error::RuntimeError;
+
 /// One `(stage, substage)` step of a device's schedule: the contiguous
 /// index range of its table entries (the tables are sorted by
 /// `(stage, substage, peer)`, so every step is a single run).
@@ -92,12 +94,16 @@ fn group_stages(ios: &[dgcl_plan::tuples::StageIo]) -> Vec<StageGroup> {
 impl DeviceSchedule {
     /// Compiles `rank`'s forward (embedding allgather) schedule.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the tables ask the device to forward a vertex it never
-    /// received — the same protocol bug the uncompiled runtime detects
-    /// per operation, caught here once at build time.
-    pub fn forward(tables: &SendRecvTables, rank: usize, lg: &LocalGraph) -> Self {
+    /// [`RuntimeError::Protocol`] if the tables ask the device to forward
+    /// a vertex it never received — the same protocol bug the uncompiled
+    /// runtime detects per operation, caught here once at build time.
+    pub fn forward(
+        tables: &SendRecvTables,
+        rank: usize,
+        lg: &LocalGraph,
+    ) -> Result<Self, RuntimeError> {
         let ios = &tables.per_device[rank];
         let groups = group_stages(ios);
         let num_total = lg.num_total();
@@ -112,13 +118,16 @@ impl DeviceSchedule {
                     .send
                     .iter()
                     .map(|&v| match lg.local_id(v) {
-                        Some(li) => li as u32,
+                        Some(li) => Ok(li as u32),
                         None => match relay_slots.get(&v) {
-                            Some(&slot) => num_total as u32 + slot,
-                            None => panic!("device {rank} lacks vertex {v} to forward"),
+                            Some(&slot) => Ok(num_total as u32 + slot),
+                            None => Err(RuntimeError::Protocol {
+                                rank,
+                                detail: format!("device {rank} lacks vertex {v} to forward"),
+                            }),
                         },
                     })
-                    .collect();
+                    .collect::<Result<_, _>>()?;
             }
             for idx in group.ios.clone() {
                 recv_refs[idx] = ios[idx]
@@ -134,16 +143,26 @@ impl DeviceSchedule {
                     .collect();
             }
         }
-        Self {
+        Ok(Self {
             groups,
             send_refs,
             recv_refs,
             scratch_rows: relay_slots.len(),
-        }
+        })
     }
 
     /// Compiles `rank`'s backward (gradient scatter) schedule.
-    pub fn backward(tables: &SendRecvTables, rank: usize, lg: &LocalGraph) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Infallible today (backward relays accumulate from zero, so there
+    /// is no lacks-vertex case); `Result` keeps the signature symmetric
+    /// with [`DeviceSchedule::forward`] for callers compiling both.
+    pub fn backward(
+        tables: &SendRecvTables,
+        rank: usize,
+        lg: &LocalGraph,
+    ) -> Result<Self, RuntimeError> {
         let ios = &tables.per_device[rank];
         let groups = group_stages(ios);
         let num_local = lg.num_local;
@@ -207,12 +226,12 @@ impl DeviceSchedule {
                 }
             }
         }
-        Self {
+        Ok(Self {
             groups,
             send_refs,
             recv_refs,
             scratch_rows: num_remote + relay_slots.len() + usize::from(needs_zero_row),
-        }
+        })
     }
 }
 

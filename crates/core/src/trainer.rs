@@ -19,7 +19,9 @@ use dgcl_graph::CsrGraph;
 use dgcl_tensor::Matrix;
 
 use crate::comm_info::CommInfo;
-use crate::runtime::run_cluster;
+use crate::error::{ClusterError, RuntimeError};
+use crate::fabric::FabricConfig;
+use crate::runtime::run_cluster_with;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone)]
@@ -90,6 +92,10 @@ pub fn train_single(
 /// between layers, reversed-plan gradient scatter, and gradient
 /// allreduce before each step.
 ///
+/// # Errors
+///
+/// [`ClusterError`] if any device fails; no failure mode hangs.
+///
 /// # Panics
 ///
 /// Panics if `features`/`targets` row counts do not match the graph.
@@ -99,35 +105,59 @@ pub fn train_distributed(
     features: &Matrix,
     targets: &Matrix,
     cfg: &TrainConfig,
-) -> TrainReport {
+) -> Result<TrainReport, ClusterError> {
+    train_distributed_with(info, graph, features, targets, cfg, FabricConfig::default())
+}
+
+/// [`train_distributed`] with an explicit fabric configuration — the
+/// chaos suite uses this to inject [`crate::fault::FaultPlan`]s and to
+/// shrink the collective deadline.
+///
+/// # Errors
+///
+/// [`ClusterError`] if any device fails; no failure mode hangs.
+///
+/// # Panics
+///
+/// Panics if `features`/`targets` row counts do not match the graph.
+pub fn train_distributed_with(
+    info: &CommInfo,
+    graph: &CsrGraph,
+    features: &Matrix,
+    targets: &Matrix,
+    cfg: &TrainConfig,
+    fabric_config: FabricConfig,
+) -> Result<TrainReport, ClusterError> {
     assert_eq!(features.rows(), graph.num_vertices(), "feature rows");
     assert_eq!(targets.rows(), graph.num_vertices(), "target rows");
     let per_device_features = info.dispatch_features(features);
     let per_device_targets = info.dispatch_features(targets);
-    let results = run_cluster(info, |handle| {
+    let results = run_cluster_with(info, fabric_config, |handle| {
         let rank = handle.rank;
         let lg = handle.local_graph();
         let adj = &lg.graph;
         let num_local = lg.num_local;
         let mut net = GnnNetwork::new(cfg.arch, &cfg.dims, cfg.weight_seed);
         let mut losses = Vec::with_capacity(cfg.epochs);
-        let forward = |net: &mut GnnNetwork, handle: &crate::runtime::DeviceHandle<'_>| -> Matrix {
+        let forward = |net: &mut GnnNetwork,
+                       handle: &crate::runtime::DeviceHandle<'_>|
+         -> Result<Matrix, RuntimeError> {
             let mut h = per_device_features[rank].clone();
             for layer in net.layers_mut() {
-                let full = handle.graph_allgather(&h);
+                let full = handle.graph_allgather(&h)?;
                 h = layer.forward(adj, &full, num_local);
             }
-            h
+            Ok(h)
         };
         for _ in 0..cfg.epochs {
-            let out = forward(&mut net, &handle);
+            let out = forward(&mut net, &handle)?;
             let (local_loss, grad_out) = mse_loss(&out, &per_device_targets[rank]);
             // Backward through the layers, scattering remote gradients
             // back after each layer.
             let mut grad = grad_out;
             for layer in net.layers_mut().iter_mut().rev() {
                 let grad_full = layer.backward(adj, &grad);
-                grad = handle.scatter_backward(&grad_full);
+                grad = handle.scatter_backward(&grad_full)?;
             }
             // Allreduce: parameter gradients plus the scalar loss.
             let mut mats: Vec<Matrix> = net
@@ -136,7 +166,7 @@ pub fn train_distributed(
                 .flat_map(|l| l.gradients().into_iter().cloned())
                 .collect();
             mats.push(Matrix::full(1, 1, local_loss));
-            let reduced = handle.allreduce(mats);
+            let reduced = handle.allreduce(mats)?;
             let (loss_mat, grads) = reduced.split_last().expect("loss entry present");
             losses.push(loss_mat[(0, 0)]);
             let mut cursor = 0;
@@ -147,16 +177,16 @@ pub fn train_distributed(
             }
             net.step(cfg.lr);
         }
-        let out = forward(&mut net, &handle);
-        (losses, out)
-    });
+        let out = forward(&mut net, &handle)?;
+        Ok((losses, out))
+    })?;
     let losses = results[0].0.clone();
     let blocks: Vec<Matrix> = results.into_iter().map(|(_, out)| out).collect();
     let outputs = info.collect_outputs(&blocks);
-    TrainReport {
+    Ok(TrainReport {
         epoch_losses: losses,
         outputs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -181,7 +211,8 @@ mod tests {
             cfg.lr = 1e-6;
         }
         let single = train_single(&graph, &features, &targets, &cfg);
-        let dist = train_distributed(&info, &graph, &features, &targets, &cfg);
+        let dist =
+            train_distributed(&info, &graph, &features, &targets, &cfg).expect("healthy cluster");
         for (e, (a, b)) in single
             .epoch_losses
             .iter()
@@ -235,7 +266,8 @@ mod tests {
         let targets = init.features(n, 4);
         let mut cfg = TrainConfig::new(Architecture::Gcn, &[8, 6, 4], 5);
         cfg.lr = 5e-4;
-        let report = train_distributed(&info, &graph, &features, &targets, &cfg);
+        let report =
+            train_distributed(&info, &graph, &features, &targets, &cfg).expect("healthy cluster");
         assert!(
             report.epoch_losses.last() < report.epoch_losses.first(),
             "losses: {:?}",
@@ -256,8 +288,10 @@ mod tests {
         let features = init.features(n, 5);
         let targets = init.features(n, 2);
         let cfg = TrainConfig::new(Architecture::Gcn, &[5, 2], 2);
-        let a = train_distributed(&info_split, &graph, &features, &targets, &cfg);
-        let b = train_distributed(&info_atomic, &graph, &features, &targets, &cfg);
+        let a = train_distributed(&info_split, &graph, &features, &targets, &cfg)
+            .expect("healthy cluster");
+        let b = train_distributed(&info_atomic, &graph, &features, &targets, &cfg)
+            .expect("healthy cluster");
         let diff = a.outputs.max_abs_diff(&b.outputs);
         assert!(diff < 1e-4, "substage split changed numerics by {diff}");
     }

@@ -67,34 +67,37 @@ fn measure(compiled: bool, warm: usize, rounds: usize) -> usize {
     let per_device = info.dispatch_features(&features);
     ALLOCS.store(0, Ordering::Relaxed);
     run_cluster(&info, |handle| {
-        let step = |measured: bool| {
+        let step = |measured: bool| -> Result<(), dgcl::RuntimeError> {
             let full = if compiled {
-                handle.graph_allgather(&per_device[handle.rank])
+                handle.graph_allgather(&per_device[handle.rank])?
             } else {
-                handle.graph_allgather_reference(&per_device[handle.rank])
+                handle.graph_allgather_reference(&per_device[handle.rank])?
             };
             let grads = if compiled {
-                handle.scatter_backward(&full)
+                handle.scatter_backward(&full)?
             } else {
-                handle.scatter_backward_reference(&full)
+                handle.scatter_backward_reference(&full)?
             };
             assert_eq!(grads.rows(), handle.local_graph().num_local);
             let _ = measured;
+            Ok(())
         };
         for _ in 0..warm {
-            step(false);
+            step(false)?;
         }
         // Barrier: no device starts its measured window before every
         // device has finished warming (so late warm-up allocations are
         // never attributed to the steady state).
-        handle.allreduce(Vec::new());
+        handle.allreduce(Vec::new())?;
         COUNTING.store(true, Ordering::Relaxed);
         for _ in 0..rounds {
-            step(true);
+            step(true)?;
         }
-        handle.allreduce(Vec::new());
+        handle.allreduce(Vec::new())?;
         COUNTING.store(false, Ordering::Relaxed);
-    });
+        Ok(())
+    })
+    .expect("healthy cluster");
     COUNTING.store(false, Ordering::Relaxed);
     ALLOCS.load(Ordering::Relaxed)
 }

@@ -1,0 +1,247 @@
+//! Chaos suite: deterministic fault injection against real training.
+//!
+//! Two invariants, straight from the failure model in DESIGN.md:
+//!
+//! 1. **Benign faults are invisible.** Delays, duplicates and reorders
+//!    change message *timing* only; the keyed mailbox protocol and the
+//!    rank-ordered allreduce make training bitwise identical to a
+//!    fault-free run.
+//! 2. **Crashes fail fast, everywhere.** A crashed rank produces a
+//!    [`ClusterError`] naming it, on every surviving rank, within the
+//!    collective deadline — never a hang.
+//!
+//! Every test runs under an explicit watchdog so a hang is a loud panic,
+//! not a stuck CI job.
+
+use std::time::{Duration, Instant};
+
+use dgcl::trainer::{train_distributed, train_distributed_with, TrainConfig};
+use dgcl::{
+    build_comm_info, run_cluster_with, BuildOptions, ClusterFailure, CommInfo, FabricConfig,
+    FaultPlan, RuntimeError,
+};
+use dgcl_gnn::Architecture;
+use dgcl_graph::{CsrGraph, Dataset};
+use dgcl_sim::faults::simulate_plan_faulted;
+use dgcl_tensor::{Matrix, XavierInit};
+use dgcl_topology::Topology;
+
+/// Runs `f` on a worker thread and panics if it does not finish within
+/// `limit` — the explicit hang detector for this suite.
+fn with_watchdog<T: Send + 'static>(limit: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(limit) {
+        Ok(v) => {
+            worker.join().expect("watchdog worker");
+            v
+        }
+        Err(_) => panic!("watchdog: test exceeded {limit:?} — the runtime hung"),
+    }
+}
+
+struct Case {
+    graph: CsrGraph,
+    info: CommInfo,
+    features: Matrix,
+    targets: Matrix,
+    cfg: TrainConfig,
+}
+
+fn training_case() -> Case {
+    let graph = Dataset::WikiTalk.generate(0.0005, 3);
+    let n = graph.num_vertices();
+    let info = build_comm_info(&graph, Topology::fig6(), BuildOptions::default());
+    let mut init = XavierInit::new(8);
+    let features = init.features(n, 6);
+    let targets = init.features(n, 3);
+    let cfg = TrainConfig::new(Architecture::Gcn, &[6, 3], 2);
+    Case {
+        graph,
+        info,
+        features,
+        targets,
+        cfg,
+    }
+}
+
+#[test]
+fn benign_faults_train_bitwise_identical() {
+    with_watchdog(Duration::from_secs(300), || {
+        let c = training_case();
+        let clean = train_distributed(&c.info, &c.graph, &c.features, &c.targets, &c.cfg)
+            .expect("fault-free run");
+        for seed in [1u64, 17, 99] {
+            let faults = FaultPlan::seeded(seed, c.info.num_devices(), 6, Duration::from_millis(2));
+            assert!(faults.is_benign() && !faults.is_empty());
+            let config = FabricConfig {
+                faults,
+                ..FabricConfig::default()
+            };
+            let faulted =
+                train_distributed_with(&c.info, &c.graph, &c.features, &c.targets, &c.cfg, config)
+                    .unwrap_or_else(|e| panic!("benign plan (seed {seed}) must not fail: {e}"));
+            // Bitwise, not approximate: benign faults move timing only,
+            // never numerics.
+            assert_eq!(
+                clean.epoch_losses, faulted.epoch_losses,
+                "losses diverged under benign faults (seed {seed})"
+            );
+            assert_eq!(
+                clean.outputs, faulted.outputs,
+                "outputs diverged under benign faults (seed {seed})"
+            );
+        }
+    });
+}
+
+#[test]
+fn crash_fault_fails_every_survivor_within_deadline() {
+    with_watchdog(Duration::from_secs(120), || {
+        let c = training_case();
+        let deadline = Duration::from_secs(20);
+        let config = FabricConfig {
+            collective_deadline: deadline,
+            // Op 3: rank 1 dies mid-epoch, after real collectives ran.
+            faults: FaultPlan::crash(1, 3),
+            ..FabricConfig::default()
+        };
+        let start = Instant::now();
+        let err =
+            train_distributed_with(&c.info, &c.graph, &c.features, &c.targets, &c.cfg, config)
+                .expect_err("a crashed rank must fail training");
+        assert!(
+            start.elapsed() < deadline,
+            "unwind took {:?}, deadline was {deadline:?}",
+            start.elapsed()
+        );
+        assert_eq!(err.rank, 1, "{err}");
+        assert!(
+            matches!(
+                err.cause,
+                ClusterFailure::Error(RuntimeError::InjectedCrash { rank: 1, at_op: 3 })
+            ),
+            "{err}"
+        );
+        // Nothing survives a crashed peer on a connected plan: every
+        // other rank reports the poison with the crashed rank as origin.
+        let survivors: Vec<_> = err.surviving_errors().collect();
+        assert_eq!(survivors.len(), c.info.num_devices() - 1);
+        for (rank, failure) in survivors {
+            match failure {
+                ClusterFailure::Error(RuntimeError::Poisoned { origin, reason }) => {
+                    assert_eq!(*origin, 1, "rank {rank} blames the crashed rank");
+                    assert!(reason.contains("injected crash"), "{reason}");
+                }
+                other => panic!("rank {rank}: expected poison, got {other}"),
+            }
+        }
+    });
+}
+
+#[test]
+fn silent_desertion_times_out_instead_of_hanging() {
+    // A rank that *returns without participating* never poisons the
+    // fabric — only the deadline can unblock its peers. This is the
+    // stuck-peer case the configurable deadline exists for.
+    with_watchdog(Duration::from_secs(120), || {
+        let graph = Dataset::WikiTalk.generate(0.0005, 3);
+        let info = build_comm_info(&graph, Topology::fig6(), BuildOptions::default());
+        let deadline = Duration::from_millis(300);
+        let config = FabricConfig {
+            collective_deadline: deadline,
+            ..FabricConfig::default()
+        };
+        let start = Instant::now();
+        let err = run_cluster_with(&info, config, |handle| {
+            if handle.rank == 0 {
+                return Ok(0); // Deserts the rendezvous silently.
+            }
+            let reduced = handle.allreduce(vec![Matrix::full(1, 1, 1.0)])?;
+            Ok(reduced.len())
+        })
+        .expect_err("deserted allreduce must time out");
+        let elapsed = start.elapsed();
+        assert!(elapsed >= deadline, "peers cannot finish without rank 0");
+        assert!(
+            elapsed < deadline + Duration::from_secs(30),
+            "timeout fired far too late: {elapsed:?}"
+        );
+        // Rank 0 completed; some peer's timeout is the recorded cause.
+        assert!(err.per_rank[0].is_none(), "rank 0 deserted successfully");
+        assert!(
+            matches!(
+                err.cause,
+                ClusterFailure::Error(RuntimeError::Timeout {
+                    op: "allreduce",
+                    ..
+                })
+            ),
+            "{err}"
+        );
+        assert_eq!(err.deadline, deadline);
+    });
+}
+
+#[test]
+fn duplicate_and_reorder_storm_on_one_link_is_absorbed() {
+    // Concentrated worst case: every stage of the heaviest link both
+    // duplicated and reordered, plus a delay — still bitwise clean.
+    with_watchdog(Duration::from_secs(300), || {
+        let c = training_case();
+        let clean = train_distributed(&c.info, &c.graph, &c.features, &c.targets, &c.cfg)
+            .expect("fault-free run");
+        let step = c.info.plan.steps.first().expect("non-empty plan");
+        let (src, dst) = (step.src, step.dst);
+        let mut events = Vec::new();
+        for stage in 0..c.info.plan.num_stages as u32 {
+            events.push(dgcl::FaultEvent::Duplicate { src, dst, stage });
+            events.push(dgcl::FaultEvent::Reorder { src, dst, stage });
+            events.push(dgcl::FaultEvent::Delay {
+                src,
+                dst,
+                stage,
+                delay: Duration::from_millis(1),
+            });
+        }
+        let config = FabricConfig {
+            faults: FaultPlan { events },
+            ..FabricConfig::default()
+        };
+        let faulted =
+            train_distributed_with(&c.info, &c.graph, &c.features, &c.targets, &c.cfg, config)
+                .expect("storm on one link is benign");
+        assert_eq!(clean.outputs, faulted.outputs);
+        assert_eq!(clean.epoch_losses, faulted.epoch_losses);
+    });
+}
+
+#[test]
+fn fault_plans_mirror_into_the_simulator() {
+    // The same FaultPlan drives both the real runtime and the fluid
+    // network model: a crash that poisons training also truncates the
+    // simulated plan, and a benign plan changes neither delivery set.
+    let c = training_case();
+    let bytes = 4 * 64;
+    let clean = simulate_plan_faulted(
+        &c.info.plan,
+        &c.info.topology,
+        bytes,
+        &FaultPlan::none().mirror_sim(),
+    );
+    let benign = FaultPlan::seeded(5, c.info.num_devices(), 4, Duration::from_millis(1));
+    let benign_sim =
+        simulate_plan_faulted(&c.info.plan, &c.info.topology, bytes, &benign.mirror_sim());
+    assert!(benign_sim.failed.is_none());
+    assert_eq!(benign_sim.delivered, clean.delivered);
+    let crash_sim = simulate_plan_faulted(
+        &c.info.plan,
+        &c.info.topology,
+        bytes,
+        &FaultPlan::crash(1, 1).mirror_sim(),
+    );
+    assert_eq!(crash_sim.failed, Some((1, 0)), "crash at op 1 = stage 0");
+    assert!(crash_sim.delivered.len() < clean.delivered.len());
+}

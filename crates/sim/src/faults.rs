@@ -1,0 +1,289 @@
+//! Fault events mirrored into the fluid network simulation.
+//!
+//! The real runtime injects faults at the fabric boundary
+//! (`dgcl::fault::FaultPlan`); this module replays the same scenario
+//! against the performance model, so the simulator predicts how a fault
+//! shapes wall-clock: a delayed link stretches its stage, a duplicate
+//! retransmits the payload (contending for bandwidth), a reorder is
+//! invisible to the stage's concurrent fluid flows, and a crash truncates
+//! the plan at the stage where the rank died — every later stage never
+//! completes, which is exactly the hang the abortable runtime converts
+//! into an error.
+
+use crate::network::{simulate_flows, Flow, NetworkReport};
+use crate::transport::stage_barrier_seconds;
+use dgcl_plan::CommPlan;
+use dgcl_topology::Topology;
+
+/// One simulated fault event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimFault {
+    /// `rank` dies at the start of `stage`; no flow involving it (nor any
+    /// later stage, since stages barrier) completes.
+    Crash {
+        /// The crashed rank.
+        rank: usize,
+        /// The plan stage at which it dies.
+        stage: usize,
+    },
+    /// Flows from `src` to `dst` in `stage` start `seconds` late.
+    Delay {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Plan stage.
+        stage: usize,
+        /// Added latency in seconds.
+        seconds: f64,
+    },
+    /// Flows from `src` to `dst` in `stage` are transmitted twice.
+    Duplicate {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Plan stage.
+        stage: usize,
+    },
+    /// Flows from `src` to `dst` in `stage` arrive out of order — a
+    /// no-op for concurrent fluid flows, modelled as submission-order
+    /// reversal (the simulation must be order-invariant).
+    Reorder {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Plan stage.
+        stage: usize,
+    },
+}
+
+/// A set of fault events for one simulated plan execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimFaultPlan {
+    /// The events to apply.
+    pub events: Vec<SimFault>,
+}
+
+impl SimFaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The earliest stage at which any rank crashes, with the rank.
+    pub fn first_crash(&self) -> Option<(usize, usize)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                SimFault::Crash { rank, stage } => Some((*stage, *rank)),
+                _ => None,
+            })
+            .min()
+    }
+}
+
+/// Outcome of a fault-injected plan simulation.
+#[derive(Debug, Clone)]
+pub struct FaultedReport {
+    /// The network report over the stages that completed.
+    pub report: NetworkReport,
+    /// `Some((rank, stage))` if a crash truncated the plan: `stage` and
+    /// everything after it never completed.
+    pub failed: Option<(usize, usize)>,
+    /// Tags of plan steps whose payload was delivered.
+    pub delivered: Vec<usize>,
+}
+
+/// Simulates `plan` under `faults`. Benign faults (delay, duplicate,
+/// reorder) change only timing: the delivered step set must equal the
+/// fault-free run's. A crash truncates the plan at the crash stage.
+pub fn simulate_plan_faulted(
+    plan: &CommPlan,
+    topology: &Topology,
+    bytes_per_vertex: u64,
+    faults: &SimFaultPlan,
+) -> FaultedReport {
+    let crash = faults.first_crash();
+    let mut stage_seconds = Vec::with_capacity(plan.num_stages);
+    let mut flow_completions = Vec::new();
+    let mut delivered = Vec::new();
+    let mut failed = None;
+    for stage in 0..plan.num_stages {
+        if let Some((crash_stage, rank)) = crash {
+            if stage >= crash_stage {
+                failed = Some((rank, crash_stage));
+                break;
+            }
+        }
+        let mut flows: Vec<Flow> = Vec::new();
+        let mut reversed = false;
+        for (idx, s) in plan.steps.iter().enumerate() {
+            if s.stage != stage {
+                continue;
+            }
+            let extra: f64 = faults
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    SimFault::Delay {
+                        src,
+                        dst,
+                        stage: st,
+                        seconds,
+                    } if (*src, *dst, *st) == (s.src, s.dst, stage) => Some(*seconds),
+                    _ => None,
+                })
+                .sum();
+            let duplicated = faults.events.iter().any(|e| {
+                matches!(e, SimFault::Duplicate { src, dst, stage: st }
+                    if (*src, *dst, *st) == (s.src, s.dst, stage))
+            });
+            reversed |= faults.events.iter().any(|e| {
+                matches!(e, SimFault::Reorder { src, dst, stage: st }
+                    if (*src, *dst, *st) == (s.src, s.dst, stage))
+            });
+            let flow = Flow {
+                route: topology.route(s.src, s.dst).clone(),
+                bytes: s.vertices.len() as u64 * bytes_per_vertex,
+                overhead_seconds: crate::transport::flow_overhead_seconds(topology, s.src, s.dst)
+                    + extra,
+                tag: idx,
+            };
+            if duplicated {
+                flows.push(flow.clone());
+            }
+            flows.push(flow);
+            delivered.push(idx);
+        }
+        if reversed {
+            flows.reverse();
+        }
+        if flows.is_empty() {
+            stage_seconds.push(0.0);
+            continue;
+        }
+        let (t, completions) = simulate_flows(topology, &flows);
+        stage_seconds.push(t + stage_barrier_seconds());
+        flow_completions.extend(completions);
+    }
+    FaultedReport {
+        report: NetworkReport {
+            total_seconds: stage_seconds.iter().sum(),
+            stage_seconds,
+            flow_completions,
+        },
+        failed,
+        delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::simulate_plan;
+
+    fn fig6_plan() -> (CommPlan, Topology) {
+        let topo = Topology::fig6();
+        let plan = CommPlan::from_edges(
+            4,
+            vec![(0, 0, 2, 0), (1, 1, 3, 0), (2, 2, 3, 1), (3, 3, 0, 1)],
+        );
+        (plan, topo)
+    }
+
+    #[test]
+    fn benign_faults_deliver_the_same_steps() {
+        let (plan, topo) = fig6_plan();
+        let clean = simulate_plan_faulted(&plan, &topo, 1 << 20, &SimFaultPlan::none());
+        let faults = SimFaultPlan {
+            events: vec![
+                SimFault::Delay {
+                    src: 0,
+                    dst: 2,
+                    stage: 0,
+                    seconds: 2e-3,
+                },
+                SimFault::Duplicate {
+                    src: 1,
+                    dst: 3,
+                    stage: 0,
+                },
+                SimFault::Reorder {
+                    src: 2,
+                    dst: 3,
+                    stage: 1,
+                },
+            ],
+        };
+        let faulted = simulate_plan_faulted(&plan, &topo, 1 << 20, &faults);
+        assert!(faulted.failed.is_none());
+        assert_eq!(faulted.delivered, clean.delivered, "same steps delivered");
+        assert!(
+            faulted.report.total_seconds >= clean.report.total_seconds,
+            "faults only slow the plan down"
+        );
+    }
+
+    #[test]
+    fn delay_stretches_exactly_its_stage() {
+        let (plan, topo) = fig6_plan();
+        let clean = simulate_plan_faulted(&plan, &topo, 1 << 20, &SimFaultPlan::none());
+        let faults = SimFaultPlan {
+            events: vec![SimFault::Delay {
+                src: 0,
+                dst: 2,
+                stage: 0,
+                seconds: 5e-3,
+            }],
+        };
+        let faulted = simulate_plan_faulted(&plan, &topo, 1 << 20, &faults);
+        assert!(faulted.report.stage_seconds[0] > clean.report.stage_seconds[0] + 4e-3);
+        assert!(
+            (faulted.report.stage_seconds[1] - clean.report.stage_seconds[1]).abs() < 1e-9,
+            "later stages unaffected"
+        );
+    }
+
+    #[test]
+    fn reorder_is_timing_invariant() {
+        let (plan, topo) = fig6_plan();
+        let clean = simulate_plan_faulted(&plan, &topo, 1 << 20, &SimFaultPlan::none());
+        let faults = SimFaultPlan {
+            events: vec![SimFault::Reorder {
+                src: 0,
+                dst: 2,
+                stage: 0,
+            }],
+        };
+        let faulted = simulate_plan_faulted(&plan, &topo, 1 << 20, &faults);
+        assert!(
+            (faulted.report.total_seconds - clean.report.total_seconds).abs() < 1e-12,
+            "fluid flows are submission-order invariant"
+        );
+    }
+
+    #[test]
+    fn crash_truncates_at_the_crash_stage() {
+        let (plan, topo) = fig6_plan();
+        let faults = SimFaultPlan {
+            events: vec![SimFault::Crash { rank: 3, stage: 1 }],
+        };
+        let faulted = simulate_plan_faulted(&plan, &topo, 1 << 20, &faults);
+        assert_eq!(faulted.failed, Some((3, 1)));
+        assert_eq!(faulted.report.stage_seconds.len(), 1, "stage 1 never ran");
+        assert!(
+            faulted.delivered.iter().all(|&i| plan.steps[i].stage == 0),
+            "only stage-0 steps delivered"
+        );
+    }
+
+    #[test]
+    fn faultless_report_matches_simulate_plan() {
+        let (plan, topo) = fig6_plan();
+        let clean = simulate_plan_faulted(&plan, &topo, 1 << 20, &SimFaultPlan::none());
+        let base = simulate_plan(&plan, &topo, 1 << 20);
+        assert!((clean.report.total_seconds - base.total_seconds).abs() < 1e-12);
+    }
+}

@@ -16,13 +16,18 @@
 //!   (replication OOMs on the large graphs in Figure 7, as in the paper).
 //! * [`epoch`] — end-to-end per-epoch simulation combining the three for
 //!   every communication method the paper evaluates.
+//! * [`faults`] — fault events mirrored from the runtime's fault-injection
+//!   plans, replayed against the fluid network model (delays stretch
+//!   stages, crashes truncate the plan where the rank died).
 
 pub mod compute;
 pub mod epoch;
+pub mod faults;
 pub mod memory;
 pub mod network;
 pub mod transport;
 
 pub use compute::{GnnModel, GpuProfile};
 pub use epoch::{simulate_epoch, EpochBreakdown, EpochConfig, Method};
+pub use faults::{simulate_plan_faulted, FaultedReport, SimFault, SimFaultPlan};
 pub use network::{simulate_flows, simulate_plan, Flow, NetworkReport};

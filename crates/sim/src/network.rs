@@ -290,8 +290,16 @@ mod tests {
             flow(&topo, 1, 3, 956_000, 1),
         ];
         let (t, completions) = simulate_flows(&topo, &flows);
-        let t_small = completions.iter().find(|&&(tag, _)| tag == 1).unwrap().1;
-        let t_big = completions.iter().find(|&&(tag, _)| tag == 0).unwrap().1;
+        let t_small = completions
+            .iter()
+            .find(|&&(tag, _)| tag == 1)
+            .expect("completion for the small flow (tag 1)")
+            .1;
+        let t_big = completions
+            .iter()
+            .find(|&&(tag, _)| tag == 0)
+            .expect("completion for the big flow (tag 0)")
+            .1;
         assert!(t_small < t_big);
         assert!((t - t_big).abs() < 1e-12);
         // The big flow speeds up after the small one leaves: total under

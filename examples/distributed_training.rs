@@ -37,7 +37,8 @@ fn main() {
     let single = train_single(&graph, &features, &targets, &cfg);
     let t_single = t.elapsed();
     let t = std::time::Instant::now();
-    let dist = train_distributed(&info, &graph, &features, &targets, &cfg);
+    let dist =
+        train_distributed(&info, &graph, &features, &targets, &cfg).expect("healthy cluster");
     let t_dist = t.elapsed();
 
     println!("\nepoch   single-device    distributed");

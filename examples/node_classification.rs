@@ -57,7 +57,7 @@ fn main() {
         for epoch in 0..epochs {
             let mut h = per_device_features[rank].clone();
             for layer in net.layers_mut() {
-                let full = handle.graph_allgather(&h);
+                let full = handle.graph_allgather(&h)?;
                 h = layer.forward(&lg.graph, &full, lg.num_local);
             }
             let (local_loss, grad_out) = softmax_cross_entropy(&h, &device_labels[rank]);
@@ -66,7 +66,7 @@ fn main() {
             let mut grad = grad_out;
             for layer in net.layers_mut().iter_mut().rev() {
                 let grad_full = layer.backward(&lg.graph, &grad);
-                grad = handle.scatter_backward(&grad_full);
+                grad = handle.scatter_backward(&grad_full)?;
             }
             let mut mats: Vec<Matrix> = net
                 .layers()
@@ -74,7 +74,7 @@ fn main() {
                 .flat_map(|l| l.gradients().into_iter().cloned())
                 .collect();
             mats.push(Matrix::from_rows(&[&[local_loss, local_hits]]));
-            let reduced = handle.allreduce(mats);
+            let reduced = handle.allreduce(mats)?;
             let (stats, grads) = reduced.split_last().expect("stats entry");
             let mut cursor = 0;
             for layer in net.layers_mut() {
@@ -92,8 +92,9 @@ fn main() {
                 );
             }
         }
-        last
-    });
+        Ok(last)
+    })
+    .expect("healthy cluster");
     let logits = info.collect_outputs(&outputs);
     let final_acc = accuracy(&logits, &labels);
     println!(

@@ -48,9 +48,10 @@ fn main() {
     }
     let per_device = info.dispatch_features(&features);
     let visible = run_cluster(&info, |handle| {
-        let full = handle.graph_allgather(&per_device[handle.rank]);
-        (handle.rank, full.rows())
-    });
+        let full = handle.graph_allgather(&per_device[handle.rank])?;
+        Ok((handle.rank, full.rows()))
+    })
+    .expect("healthy cluster");
     for (rank, rows) in visible {
         let lg = info.pg.local_graph(rank);
         println!(

@@ -29,7 +29,8 @@ fn pipeline(dataset: Dataset, topology: Topology, seed: u64) {
     let per_device = info.dispatch_features(&features);
     let gathered = run_cluster(&info, |handle| {
         handle.graph_allgather(&per_device[handle.rank])
-    });
+    })
+    .expect("healthy cluster");
     for (d, full) in gathered.iter().enumerate() {
         let lg = info.pg.local_graph(d);
         for (li, &v) in lg.global_ids.iter().enumerate() {
@@ -80,7 +81,8 @@ fn plan_reuse_across_layers_is_consistent() {
         let per_device = info.dispatch_features(&features);
         let gathered = run_cluster(&info, |handle| {
             handle.graph_allgather(&per_device[handle.rank])
-        });
+        })
+        .expect("healthy cluster");
         for (d, full) in gathered.iter().enumerate() {
             let lg = info.pg.local_graph(d);
             for (li, &v) in lg.global_ids.iter().enumerate() {

@@ -34,7 +34,8 @@ fn check_parity(
     let mut cfg = TrainConfig::new(arch, dims, epochs);
     cfg.lr = lr;
     let single = train_single(&graph, &features, &targets, &cfg);
-    let dist = train_distributed(&info, &graph, &features, &targets, &cfg);
+    let dist =
+        train_distributed(&info, &graph, &features, &targets, &cfg).expect("healthy cluster");
     for (e, (a, b)) in single
         .epoch_losses
         .iter()
@@ -112,7 +113,8 @@ fn single_device_cluster_is_trivially_exact() {
     let targets = init.features(n, 4);
     let cfg = TrainConfig::new(Architecture::Gcn, &[8, 4], 3);
     let single = train_single(&graph, &features, &targets, &cfg);
-    let dist = train_distributed(&info, &graph, &features, &targets, &cfg);
+    let dist =
+        train_distributed(&info, &graph, &features, &targets, &cfg).expect("healthy cluster");
     // One device: results must be bit-identical, not just close.
     assert_eq!(single.epoch_losses, dist.epoch_losses);
     assert_eq!(single.outputs, dist.outputs);
