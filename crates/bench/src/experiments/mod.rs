@@ -19,6 +19,7 @@
 //! | `table9` | Table 9 | non-atomic backward is faster |
 //! | `ablation` | (extra) | SPST design-choice ablations |
 //! | `compute` | (extra) | hot-path kernels: threaded matmul, parallel CSR aggregation, compiled allgather |
+//! | `overlap` | (extra) | pipelined chunked collectives vs barriered schedule, simulated + measured |
 
 mod ablation;
 mod compute;
@@ -28,6 +29,7 @@ mod fig2;
 mod fig4;
 mod fig7;
 mod fig89;
+mod overlap;
 mod table1;
 mod table2;
 mod table3;
@@ -42,7 +44,7 @@ use crate::harness::RunContext;
 /// All experiment ids in paper order.
 pub const ALL: &[&str] = &[
     "table1", "fig2", "table2", "table3", "fig4", "fig7", "fig8", "fig9", "table5", "table6",
-    "fig10", "table7", "table8", "fig11", "table9", "ablation", "compute",
+    "fig10", "table7", "table8", "fig11", "table9", "ablation", "compute", "overlap",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -65,6 +67,7 @@ pub fn run(id: &str, ctx: &mut RunContext) -> bool {
         "table9" => table9::run(ctx),
         "ablation" => ablation::run(ctx),
         "compute" => compute::run(ctx),
+        "overlap" => overlap::run(ctx),
         _ => return false,
     }
     true

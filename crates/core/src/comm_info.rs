@@ -9,6 +9,7 @@ use dgcl_tensor::Matrix;
 use dgcl_topology::Topology;
 
 use crate::error::RuntimeError;
+use crate::pipeline::{self, PipelineSchedule};
 use crate::schedule::DeviceSchedule;
 
 /// Options for [`build_comm_info`].
@@ -22,6 +23,10 @@ pub struct BuildOptions {
     /// Whether the backward tables are split into sub-stages for
     /// non-atomic aggregation (§6.2).
     pub non_atomic: bool,
+    /// Rows per chunk for the pipelined collectives. Payloads larger than
+    /// this are split into chunk-keyed messages that stream through
+    /// relays; `usize::MAX` degenerates to one chunk per payload.
+    pub chunk_rows: usize,
 }
 
 impl Default for BuildOptions {
@@ -30,6 +35,7 @@ impl Default for BuildOptions {
             seed: 42,
             bytes_per_vertex: 4 * 256,
             non_atomic: true,
+            chunk_rows: 64,
         }
     }
 }
@@ -55,6 +61,11 @@ pub struct CommInfo {
     pub forward_schedules: Vec<DeviceSchedule>,
     /// Per device: the backward tables compiled likewise.
     pub backward_schedules: Vec<DeviceSchedule>,
+    /// Per device: the forward schedule chunked into a dependency-driven
+    /// pipeline (see [`crate::pipeline`]).
+    pub forward_pipelines: Vec<PipelineSchedule>,
+    /// Per device: the backward schedule chunked likewise.
+    pub backward_pipelines: Vec<PipelineSchedule>,
     /// SPST wall-clock planning time in seconds.
     pub planning_seconds: f64,
     /// The cost model's estimate for one allgather in seconds.
@@ -110,12 +121,28 @@ pub fn try_build_comm_info(
     } else {
         backward
     };
-    let forward_schedules = (0..num_gpus)
+    let forward_schedules: Vec<DeviceSchedule> = (0..num_gpus)
         .map(|d| DeviceSchedule::forward(&forward_tables, d, pg.local_graph(d)))
         .collect::<Result<_, _>>()?;
-    let backward_schedules = (0..num_gpus)
+    let backward_schedules: Vec<DeviceSchedule> = (0..num_gpus)
         .map(|d| DeviceSchedule::backward(&backward_tables, d, pg.local_graph(d)))
         .collect::<Result<_, _>>()?;
+    let forward_pipelines = (0..num_gpus)
+        .map(|d| {
+            let lg = pg.local_graph(d);
+            let sched = &forward_schedules[d];
+            let row_space = lg.num_total() + sched.scratch_rows;
+            pipeline::compile(sched, row_space, options.chunk_rows)
+        })
+        .collect();
+    let backward_pipelines = (0..num_gpus)
+        .map(|d| {
+            let lg = pg.local_graph(d);
+            let sched = &backward_schedules[d];
+            let row_space = lg.num_local + sched.scratch_rows;
+            pipeline::compile(sched, row_space, options.chunk_rows)
+        })
+        .collect();
     Ok(CommInfo {
         topology,
         pg,
@@ -124,6 +151,8 @@ pub fn try_build_comm_info(
         backward_tables,
         forward_schedules,
         backward_schedules,
+        forward_pipelines,
+        backward_pipelines,
         planning_seconds: outcome.planning_seconds,
         estimated_allgather_seconds: outcome.cost.total_time(),
     })

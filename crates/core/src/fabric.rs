@@ -44,8 +44,34 @@ use parking_lot::{Condvar, Mutex};
 use crate::error::{ClusterFailure, RuntimeError};
 use crate::fault::FaultPlan;
 
-/// Identifies one batched message: `(operation, stage, substage)`.
-pub type MsgKey = (u64, u32, u32);
+/// Identifies one batched message: `(operation, stage, substage, chunk)`.
+/// Barriered paths always use chunk `0`; the pipelined executor keys each
+/// fixed-size row chunk separately so a relay can forward chunk `k` while
+/// chunk `k + 1` is still in flight.
+pub type MsgKey = (u64, u32, u32, u32);
+
+/// Flags a payload whose length disagrees with the schedule — a protocol
+/// bug, never a user error. Shared by the compiled, reference and
+/// pipelined executors so the check cannot drift between paths.
+///
+/// # Errors
+///
+/// [`RuntimeError::Protocol`] when `got != want`.
+pub fn expect_payload(
+    rank: usize,
+    got: usize,
+    want: usize,
+    key: MsgKey,
+) -> Result<(), RuntimeError> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(RuntimeError::Protocol {
+            rank,
+            detail: format!("payload for {key:?} has {got} floats, schedule expects {want}"),
+        })
+    }
+}
 
 /// Messages held back by reorder faults, keyed by `(src, dst)` link.
 type HeldMessages = HashMap<(usize, usize), Vec<(MsgKey, Vec<f32>)>>;
@@ -95,7 +121,7 @@ struct ReduceState {
     slots: Vec<Option<Vec<Matrix>>>,
     filled: usize,
     departed: usize,
-    result: Option<std::sync::Arc<Vec<Matrix>>>,
+    result: Option<Vec<Matrix>>,
 }
 
 /// First-failure record: the rank that poisoned the fabric and why.
@@ -460,6 +486,34 @@ impl Fabric {
         }
     }
 
+    /// Non-blocking [`Fabric::recv`]: removes and returns the payload for
+    /// `key` if it has arrived, `None` otherwise. The pipelined executor
+    /// polls with this between dependency-ready entries so it never
+    /// blocks on one chunk while another is already deliverable.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Poisoned`] when the fabric is poisoned and the
+    /// message is absent (a present message is still handed out so a
+    /// receiver can drain completed work before unwinding).
+    pub fn try_recv(
+        &self,
+        src: usize,
+        dst: usize,
+        key: MsgKey,
+    ) -> Result<Option<Vec<f32>>, RuntimeError> {
+        // A reorder fault may be holding the message; demand delivery.
+        if !self.config.faults.is_empty() {
+            self.release_held(src, dst)?;
+        }
+        let mb = &self.mailboxes[src * self.num_devices + dst];
+        if let Some(payload) = mb.slots.lock().remove(&key) {
+            return Ok(Some(payload));
+        }
+        self.check_poison()?;
+        Ok(None)
+    }
+
     /// Sums the per-device contributions element-wise (in rank order, so
     /// every device observes the identical result) and returns the total
     /// to each caller. All devices must call with equally-shaped inputs.
@@ -509,10 +563,16 @@ impl Fabric {
                         for (t, m) in total.iter_mut().zip(&mats) {
                             t.add_assign(m);
                         }
+                        // The contribution has been folded in; its
+                        // storage goes back to the pool instead of the
+                        // allocator.
+                        for m in mats {
+                            self.recycle(m.into_vec());
+                        }
                     }
                 }
             }
-            st.result = Some(std::sync::Arc::new(acc.expect("at least one device")));
+            st.result = Some(acc.expect("at least one device"));
             st.phase = ReducePhase::Draining;
             st.departed = 0;
             self.reduce_signal.notify_all();
@@ -527,14 +587,27 @@ impl Fabric {
                 self.reduce_signal.wait_for(&mut st, WAIT_TICK);
             }
         }
-        let out = (**st.result.as_ref().expect("result present")).clone();
         st.departed += 1;
-        if st.departed == self.num_devices {
+        let out = if st.departed == self.num_devices {
+            // Last reader: move the result out instead of cloning it.
+            let out = st.result.take().expect("result present");
             st.phase = ReducePhase::Filling;
             st.filled = 0;
-            st.result = None;
             self.reduce_signal.notify_all();
-        }
+            out
+        } else {
+            // Earlier readers copy into pool-backed buffers so even the
+            // fan-out of the result allocates nothing in steady state.
+            let total = st.result.as_ref().expect("result present");
+            total
+                .iter()
+                .map(|m| {
+                    let mut buf = self.checkout(m.len());
+                    buf.extend_from_slice(m.as_slice());
+                    Matrix::from_vec(m.rows(), m.cols(), buf)
+                })
+                .collect()
+        };
         Ok(out)
     }
 }
@@ -546,25 +619,25 @@ mod tests {
     #[test]
     fn send_recv_round_trip() {
         let f = Fabric::new(2);
-        f.send(0, 1, (1, 0, 0), vec![1.0, 2.0]).expect("send");
-        assert_eq!(f.recv(0, 1, (1, 0, 0)).expect("recv"), vec![1.0, 2.0]);
+        f.send(0, 1, (1, 0, 0, 0), vec![1.0, 2.0]).expect("send");
+        assert_eq!(f.recv(0, 1, (1, 0, 0, 0)).expect("recv"), vec![1.0, 2.0]);
     }
 
     #[test]
     fn recv_blocks_until_send() {
         let f = std::sync::Arc::new(Fabric::new(2));
         let f2 = f.clone();
-        let t = std::thread::spawn(move || f2.recv(0, 1, (7, 1, 0)));
+        let t = std::thread::spawn(move || f2.recv(0, 1, (7, 1, 0, 0)));
         std::thread::sleep(std::time::Duration::from_millis(10));
-        f.send(0, 1, (7, 1, 0), vec![3.5]).expect("send");
+        f.send(0, 1, (7, 1, 0, 0), vec![3.5]).expect("send");
         assert_eq!(t.join().expect("no panic").expect("recv"), vec![3.5]);
     }
 
     #[test]
     fn duplicate_key_is_a_protocol_error() {
         let f = Fabric::new(2);
-        f.send(0, 1, (1, 0, 0), vec![]).expect("first send");
-        let err = f.send(0, 1, (1, 0, 0), vec![]).expect_err("duplicate");
+        f.send(0, 1, (1, 0, 0, 0), vec![]).expect("first send");
+        let err = f.send(0, 1, (1, 0, 0, 0), vec![]).expect_err("duplicate");
         assert!(
             matches!(err, RuntimeError::Protocol { rank: 0, .. }),
             "{err}"
@@ -610,7 +683,7 @@ mod tests {
                 ..FabricConfig::default()
             },
         );
-        let err = f.recv(0, 1, (1, 0, 0)).expect_err("nothing sent");
+        let err = f.recv(0, 1, (1, 0, 0, 0)).expect_err("nothing sent");
         assert!(
             matches!(err, RuntimeError::Timeout { op: "recv", .. }),
             "{err}"
@@ -621,7 +694,7 @@ mod tests {
     fn poison_wakes_blocked_receivers() {
         let f = std::sync::Arc::new(Fabric::new(2));
         let f2 = f.clone();
-        let t = std::thread::spawn(move || f2.recv(0, 1, (9, 0, 0)));
+        let t = std::thread::spawn(move || f2.recv(0, 1, (9, 0, 0, 0)));
         std::thread::sleep(Duration::from_millis(10));
         f.poison(0, ClusterFailure::Panic("dead device".to_string()));
         let err = t.join().expect("no panic").expect_err("poisoned");
@@ -754,8 +827,8 @@ mod tests {
             ..FabricConfig::default()
         };
         let f = Fabric::with_config(2, cfg);
-        f.send(0, 1, (1, 0, 0), vec![2.5]).expect("send");
-        assert_eq!(f.recv(0, 1, (1, 0, 0)).expect("recv"), vec![2.5]);
+        f.send(0, 1, (1, 0, 0, 0), vec![2.5]).expect("send");
+        assert_eq!(f.recv(0, 1, (1, 0, 0, 0)).expect("recv"), vec![2.5]);
     }
 
     #[test]
@@ -773,14 +846,14 @@ mod tests {
         };
         let f = Fabric::with_config(2, cfg);
         // Held on send...
-        f.send(0, 1, (1, 0, 0), vec![7.0]).expect("send");
+        f.send(0, 1, (1, 0, 0, 0), vec![7.0]).expect("send");
         // ...but the receiver's demand releases it.
-        assert_eq!(f.recv(0, 1, (1, 0, 0)).expect("recv"), vec![7.0]);
+        assert_eq!(f.recv(0, 1, (1, 0, 0, 0)).expect("recv"), vec![7.0]);
         // A later message on the link releases an earlier held one.
-        f.send(0, 1, (2, 0, 0), vec![1.0]).expect("send held");
-        f.send(0, 1, (2, 1, 0), vec![2.0]).expect("send release");
-        assert_eq!(f.recv(0, 1, (2, 1, 0)).expect("recv"), vec![2.0]);
-        assert_eq!(f.recv(0, 1, (2, 0, 0)).expect("recv"), vec![1.0]);
+        f.send(0, 1, (2, 0, 0, 0), vec![1.0]).expect("send held");
+        f.send(0, 1, (2, 1, 0, 0), vec![2.0]).expect("send release");
+        assert_eq!(f.recv(0, 1, (2, 1, 0, 0)).expect("recv"), vec![2.0]);
+        assert_eq!(f.recv(0, 1, (2, 0, 0, 0)).expect("recv"), vec![1.0]);
     }
 
     #[test]

@@ -30,6 +30,19 @@ pub enum FaultEvent {
         /// The operation index at which to crash.
         at_op: u64,
     },
+    /// Rank `rank` fails permanently *inside* collective `at_op`, after
+    /// executing `after_actions` pipeline actions (chunk sends/receives).
+    /// Unlike [`FaultEvent::Crash`], which fires at the operation
+    /// boundary, this models a device dying mid-transfer with some chunks
+    /// already delivered — peers must still fail within the deadline.
+    CrashMidOp {
+        /// The rank to crash.
+        rank: usize,
+        /// The operation index during which to crash.
+        at_op: u64,
+        /// How many pipeline actions complete before the crash.
+        after_actions: usize,
+    },
     /// Messages from `src` to `dst` in plan stage `stage` are delayed by
     /// `delay` before delivery (the sender blocks, like a slow link).
     Delay {
@@ -127,7 +140,7 @@ impl FaultPlan {
         !self
             .events
             .iter()
-            .any(|e| matches!(e, FaultEvent::Crash { .. }))
+            .any(|e| matches!(e, FaultEvent::Crash { .. } | FaultEvent::CrashMidOp { .. }))
     }
 
     /// The earliest op at which `rank` is scheduled to crash, if any.
@@ -136,6 +149,23 @@ impl FaultPlan {
             .iter()
             .filter_map(|e| match e {
                 FaultEvent::Crash { rank: r, at_op } if *r == rank => Some(*at_op),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// The `(op, actions-before-crash)` at which `rank` dies mid-operation,
+    /// if a [`FaultEvent::CrashMidOp`] is scheduled for it (earliest op
+    /// wins).
+    pub fn crash_mid(&self, rank: usize) -> Option<(u64, usize)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::CrashMidOp {
+                    rank: r,
+                    at_op,
+                    after_actions,
+                } if *r == rank => Some((*at_op, *after_actions)),
                 _ => None,
             })
             .min()
@@ -182,7 +212,8 @@ impl FaultPlan {
                 .events
                 .iter()
                 .map(|e| match *e {
-                    FaultEvent::Crash { rank, at_op } => SimFault::Crash {
+                    FaultEvent::Crash { rank, at_op }
+                    | FaultEvent::CrashMidOp { rank, at_op, .. } => SimFault::Crash {
                         rank,
                         stage: at_op.saturating_sub(1) as usize,
                     },

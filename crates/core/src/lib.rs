@@ -62,6 +62,8 @@ pub mod comm_info;
 pub mod error;
 pub mod fabric;
 pub mod fault;
+pub mod overlap;
+pub mod pipeline;
 pub mod runtime;
 pub mod schedule;
 pub mod trainer;
@@ -70,4 +72,6 @@ pub use comm_info::{build_comm_info, try_build_comm_info, BuildOptions, CommInfo
 pub use error::{ClusterError, ClusterFailure, RuntimeError};
 pub use fabric::{Fabric, FabricConfig};
 pub use fault::{FaultEvent, FaultPlan};
+pub use overlap::{OverlapWorker, Pending};
+pub use pipeline::PipelineSchedule;
 pub use runtime::{run_cluster, run_cluster_with, DeviceHandle};

@@ -7,7 +7,7 @@
 //! opaque panic. [`run_cluster`] catches per-device panics and folds all
 //! failures into one [`ClusterError`] naming the originating rank.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -18,7 +18,9 @@ use dgcl_tensor::Matrix;
 
 use crate::comm_info::CommInfo;
 use crate::error::{ClusterError, ClusterFailure, RuntimeError};
-use crate::fabric::{Fabric, FabricConfig, MsgKey};
+use crate::fabric::{expect_payload, Fabric, FabricConfig, MsgKey};
+use crate::overlap::{OverlapWorker, Pending};
+use crate::pipeline::{self, PipelineScratch};
 
 /// A device's view of the cluster: its rank, its local graph and the
 /// collective operations of the paper's client API.
@@ -28,6 +30,7 @@ pub struct DeviceHandle<'a> {
     info: &'a CommInfo,
     fabric: Arc<Fabric>,
     op_counter: Cell<u64>,
+    scratch: RefCell<PipelineScratch>,
 }
 
 /// Per-(stage, substage) execution order of a device's table entries:
@@ -101,14 +104,14 @@ impl<'a> DeviceHandle<'a> {
     /// (local rows first, then remote — the local-id layout of
     /// [`LocalGraph`]).
     ///
-    /// Runs the compiled [`crate::schedule::DeviceSchedule`]: stage
-    /// groups and row references were resolved at `build_comm_info` time,
-    /// so the steady-state loop performs no table filtering, no vertex-id
-    /// lookups and no heap allocation (payload and relay buffers cycle
-    /// through the fabric's recycle pool). Bitwise-identical to
+    /// Runs the chunk-pipelined executor (see [`crate::pipeline`]): each
+    /// (stage, substage, peer) payload is split into `chunk_rows` chunks
+    /// that stream through relays, driven by the precompiled dependency
+    /// list instead of a stage barrier. Bitwise-identical to
+    /// [`DeviceHandle::graph_allgather_barriered`] and
     /// [`DeviceHandle::graph_allgather_reference`].
     ///
-    /// Blocking and synchronous: returns only when every stage of the
+    /// Blocking and synchronous: returns only when every chunk of the
     /// plan has completed on this device.
     ///
     /// # Errors
@@ -121,11 +124,46 @@ impl<'a> DeviceHandle<'a> {
     /// Panics if `local` does not have exactly `num_local` rows (caller
     /// API misuse, not a cluster condition).
     pub fn graph_allgather(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
-        let r = self.graph_allgather_inner(local);
+        let r = self.graph_allgather_pipelined_inner(local);
         self.poison_on_err(r)
     }
 
-    fn graph_allgather_inner(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
+    fn graph_allgather_pipelined_inner(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
+        let lg = self.local_graph();
+        let op = self.begin_op()?;
+        pipeline::forward_allgather(
+            &self.fabric,
+            self.rank,
+            op,
+            &self.info.forward_schedules[self.rank],
+            &self.info.forward_pipelines[self.rank],
+            &self.info.forward_tables.per_device[self.rank],
+            lg.num_local,
+            lg.num_total(),
+            local,
+            &mut self.scratch.borrow_mut(),
+        )
+    }
+
+    /// The stage-barriered compiled `graph_allgather` this runtime
+    /// shipped with before pipelining: one message per (stage, substage,
+    /// peer), blocking on an entire stage before forwarding. Kept as the
+    /// mid-fidelity reference the pipelined path is property-tested (and
+    /// benchmarked) against.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; see [`DeviceHandle::graph_allgather`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` does not have exactly `num_local` rows.
+    pub fn graph_allgather_barriered(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
+        let r = self.graph_allgather_barriered_inner(local);
+        self.poison_on_err(r)
+    }
+
+    fn graph_allgather_barriered_inner(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
         let lg = self.local_graph();
         assert_eq!(local.rows(), lg.num_local, "expected local rows only");
         let cols = local.cols();
@@ -139,7 +177,7 @@ impl<'a> DeviceHandle<'a> {
         let mut relay = self.fabric.checkout(sched.scratch_rows * cols);
         relay.resize(sched.scratch_rows * cols, 0.0);
         for group in &sched.groups {
-            let key: MsgKey = (op, group.stage as u32, group.substage as u32);
+            let key: MsgKey = (op, group.stage as u32, group.substage as u32, 0);
             for idx in group.ios.clone() {
                 let refs = &sched.send_refs[idx];
                 if refs.is_empty() {
@@ -166,7 +204,7 @@ impl<'a> DeviceHandle<'a> {
                     continue;
                 }
                 let payload = self.fabric.recv(ios[idx].peer, self.rank, key)?;
-                self.expect_payload(payload.len(), refs.len() * cols, key)?;
+                expect_payload(self.rank, payload.len(), refs.len() * cols, key)?;
                 for (i, &r) in refs.iter().enumerate() {
                     let row = &payload[i * cols..(i + 1) * cols];
                     let r = r as usize;
@@ -182,19 +220,6 @@ impl<'a> DeviceHandle<'a> {
         }
         self.fabric.recycle(relay);
         Ok(out)
-    }
-
-    /// Flags a payload whose length disagrees with the schedule — a
-    /// protocol bug, never a user error.
-    fn expect_payload(&self, got: usize, want: usize, key: MsgKey) -> Result<(), RuntimeError> {
-        if got == want {
-            Ok(())
-        } else {
-            Err(RuntimeError::Protocol {
-                rank: self.rank,
-                detail: format!("payload for {key:?} has {got} floats, schedule expects {want}"),
-            })
-        }
     }
 
     /// The uncompiled table-walking `graph_allgather` this runtime
@@ -227,7 +252,7 @@ impl<'a> DeviceHandle<'a> {
         let mut relay: HashMap<VertexId, Vec<f32>> = HashMap::new();
         let tables = &self.info.forward_tables;
         for (stage, substage) in stage_keys(tables, self.rank) {
-            let key: MsgKey = (op, stage as u32, substage as u32);
+            let key: MsgKey = (op, stage as u32, substage as u32, 0);
             let ios: Vec<_> = tables.per_device[self.rank]
                 .iter()
                 .filter(|io| io.stage == stage && io.substage == substage)
@@ -257,7 +282,7 @@ impl<'a> DeviceHandle<'a> {
                     continue;
                 }
                 let payload = self.fabric.recv(io.peer, self.rank, key)?;
-                self.expect_payload(payload.len(), io.recv.len() * cols, key)?;
+                expect_payload(self.rank, payload.len(), io.recv.len() * cols, key)?;
                 for (i, &v) in io.recv.iter().enumerate() {
                     let row = &payload[i * cols..(i + 1) * cols];
                     match lg.local_id(v) {
@@ -279,10 +304,10 @@ impl<'a> DeviceHandle<'a> {
     /// returns the gradient for the local rows with all remote
     /// contributions folded in.
     ///
-    /// Runs the compiled backward schedule; see
-    /// [`DeviceHandle::graph_allgather`] for the compilation contract.
-    /// Bitwise-identical to
-    /// [`DeviceHandle::scatter_backward_reference`].
+    /// Runs the chunk-pipelined backward schedule; see
+    /// [`DeviceHandle::graph_allgather`] for the pipelining contract.
+    /// Bitwise-identical to [`DeviceHandle::scatter_backward_barriered`]
+    /// and [`DeviceHandle::scatter_backward_reference`].
     ///
     /// # Errors
     ///
@@ -292,11 +317,43 @@ impl<'a> DeviceHandle<'a> {
     ///
     /// Panics if `grad_full` does not have `num_total` rows.
     pub fn scatter_backward(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
-        let r = self.scatter_backward_inner(grad_full);
+        let r = self.scatter_backward_pipelined_inner(grad_full);
         self.poison_on_err(r)
     }
 
-    fn scatter_backward_inner(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
+    fn scatter_backward_pipelined_inner(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
+        let lg = self.local_graph();
+        let op = self.begin_op()?;
+        pipeline::backward_scatter(
+            &self.fabric,
+            self.rank,
+            op,
+            &self.info.backward_schedules[self.rank],
+            &self.info.backward_pipelines[self.rank],
+            &self.info.backward_tables.per_device[self.rank],
+            lg.num_local,
+            lg.num_total(),
+            grad_full,
+            &mut self.scratch.borrow_mut(),
+        )
+    }
+
+    /// The stage-barriered compiled backward pass (see
+    /// [`DeviceHandle::graph_allgather_barriered`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; see [`DeviceHandle::graph_allgather`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_full` does not have `num_total` rows.
+    pub fn scatter_backward_barriered(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
+        let r = self.scatter_backward_barriered_inner(grad_full);
+        self.poison_on_err(r)
+    }
+
+    fn scatter_backward_barriered_inner(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
         let lg = self.local_graph();
         assert_eq!(grad_full.rows(), lg.num_total(), "expected full rows");
         let cols = grad_full.cols();
@@ -313,7 +370,7 @@ impl<'a> DeviceHandle<'a> {
         let seeded = (lg.num_total() - num_local) * cols;
         acc[..seeded].copy_from_slice(&grad_full.as_slice()[num_local * cols..]);
         for group in &sched.groups {
-            let key: MsgKey = (op, group.stage as u32, group.substage as u32);
+            let key: MsgKey = (op, group.stage as u32, group.substage as u32, 0);
             for idx in group.ios.clone() {
                 let refs = &sched.send_refs[idx];
                 if refs.is_empty() {
@@ -340,7 +397,7 @@ impl<'a> DeviceHandle<'a> {
                     continue;
                 }
                 let payload = self.fabric.recv(ios[idx].peer, self.rank, key)?;
-                self.expect_payload(payload.len(), refs.len() * cols, key)?;
+                expect_payload(self.rank, payload.len(), refs.len() * cols, key)?;
                 for (i, &r) in refs.iter().enumerate() {
                     let row = &payload[i * cols..(i + 1) * cols];
                     let r = r as usize;
@@ -391,7 +448,7 @@ impl<'a> DeviceHandle<'a> {
         }
         let tables = &self.info.backward_tables;
         for (stage, substage) in stage_keys(tables, self.rank) {
-            let key: MsgKey = (op, stage as u32, substage as u32);
+            let key: MsgKey = (op, stage as u32, substage as u32, 0);
             let ios: Vec<_> = tables.per_device[self.rank]
                 .iter()
                 .filter(|io| io.stage == stage && io.substage == substage)
@@ -417,7 +474,7 @@ impl<'a> DeviceHandle<'a> {
                     continue;
                 }
                 let payload = self.fabric.recv(io.peer, self.rank, key)?;
-                self.expect_payload(payload.len(), io.recv.len() * cols, key)?;
+                expect_payload(self.rank, payload.len(), io.recv.len() * cols, key)?;
                 for (i, &v) in io.recv.iter().enumerate() {
                     let row = &payload[i * cols..(i + 1) * cols];
                     match lg.local_id(v) {
@@ -449,6 +506,72 @@ impl<'a> DeviceHandle<'a> {
         let r = self
             .begin_op()
             .and_then(|_| self.fabric.allreduce(self.rank, mats));
+        self.poison_on_err(r)
+    }
+
+    /// Spawns this device's background collective worker (see
+    /// [`crate::overlap`]). One worker per device is enough: it executes
+    /// submitted collectives FIFO, overlapping them with whatever the
+    /// calling thread computes in the meantime.
+    pub fn overlap_worker(&self) -> OverlapWorker {
+        let lg = self.local_graph();
+        OverlapWorker::spawn(
+            self.fabric.clone(),
+            self.rank,
+            self.info.forward_schedules[self.rank].clone(),
+            self.info.forward_pipelines[self.rank].clone(),
+            self.info.forward_tables.per_device[self.rank].clone(),
+            lg.num_local,
+            lg.num_total(),
+        )
+    }
+
+    /// Submits a gradient-bucket allreduce to `worker` and returns
+    /// immediately. The op id is assigned here, on the calling thread, so
+    /// submission order (identical across ranks) fixes the rendezvous
+    /// order regardless of when the worker executes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`] raised on entry (poison, injected crash, dead
+    /// worker); an error originated here also poisons the fabric.
+    pub fn submit_allreduce(
+        &self,
+        worker: &OverlapWorker,
+        mats: Vec<Matrix>,
+    ) -> Result<Pending<Vec<Matrix>>, RuntimeError> {
+        let r = self.begin_op().and_then(|_| worker.submit_allreduce(mats));
+        self.poison_on_err(r)
+    }
+
+    /// Submits a pipelined embedding allgather of `local` to `worker`
+    /// and returns immediately — the next layer's (or next epoch's)
+    /// exchange proceeds while this thread keeps computing.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeviceHandle::submit_allreduce`].
+    pub fn submit_allgather(
+        &self,
+        worker: &OverlapWorker,
+        local: Matrix,
+    ) -> Result<Pending<Matrix>, RuntimeError> {
+        let r = self
+            .begin_op()
+            .and_then(|op| worker.submit_allgather(op, local));
+        self.poison_on_err(r)
+    }
+
+    /// Blocks on a background collective submitted earlier, poisoning
+    /// the fabric if the wait itself fails (the worker already poisoned
+    /// for errors it originated).
+    ///
+    /// # Errors
+    ///
+    /// The collective's [`RuntimeError`], or a timeout if the worker
+    /// vanished.
+    pub fn wait_pending<T>(&self, pending: Pending<T>) -> Result<T, RuntimeError> {
+        let r = pending.wait();
         self.poison_on_err(r)
     }
 }
@@ -510,6 +633,7 @@ where
                     info,
                     fabric: fabric.clone(),
                     op_counter: Cell::new(0),
+                    scratch: RefCell::new(PipelineScratch::default()),
                 };
                 let caught =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(handle)));

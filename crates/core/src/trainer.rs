@@ -36,10 +36,18 @@ pub struct TrainConfig {
     pub lr: f32,
     /// Seed for weight initialisation (shared by all replicas).
     pub weight_seed: u64,
+    /// Whether to overlap communication with compute: per-layer gradient
+    /// allreduce buckets launched as each layer's backward completes, and
+    /// the next epoch's first allgather posted eagerly, all on a
+    /// background worker. Bitwise identical to the serial schedule (fixed
+    /// bucket order, rank-ordered sums); `false` runs the fully
+    /// barriered reference.
+    pub overlap: bool,
 }
 
 impl TrainConfig {
-    /// A config with learning rate `1e-3` and a fixed weight seed.
+    /// A config with learning rate `1e-3`, a fixed weight seed and
+    /// communication–compute overlap enabled.
     pub fn new(arch: Architecture, dims: &[usize], epochs: usize) -> Self {
         Self {
             arch,
@@ -47,6 +55,7 @@ impl TrainConfig {
             epochs,
             lr: 1e-3,
             weight_seed: 17,
+            overlap: true,
         }
     }
 }
@@ -133,52 +142,11 @@ pub fn train_distributed_with(
     let per_device_features = info.dispatch_features(features);
     let per_device_targets = info.dispatch_features(targets);
     let results = run_cluster_with(info, fabric_config, |handle| {
-        let rank = handle.rank;
-        let lg = handle.local_graph();
-        let adj = &lg.graph;
-        let num_local = lg.num_local;
-        let mut net = GnnNetwork::new(cfg.arch, &cfg.dims, cfg.weight_seed);
-        let mut losses = Vec::with_capacity(cfg.epochs);
-        let forward = |net: &mut GnnNetwork,
-                       handle: &crate::runtime::DeviceHandle<'_>|
-         -> Result<Matrix, RuntimeError> {
-            let mut h = per_device_features[rank].clone();
-            for layer in net.layers_mut() {
-                let full = handle.graph_allgather(&h)?;
-                h = layer.forward(adj, &full, num_local);
-            }
-            Ok(h)
-        };
-        for _ in 0..cfg.epochs {
-            let out = forward(&mut net, &handle)?;
-            let (local_loss, grad_out) = mse_loss(&out, &per_device_targets[rank]);
-            // Backward through the layers, scattering remote gradients
-            // back after each layer.
-            let mut grad = grad_out;
-            for layer in net.layers_mut().iter_mut().rev() {
-                let grad_full = layer.backward(adj, &grad);
-                grad = handle.scatter_backward(&grad_full)?;
-            }
-            // Allreduce: parameter gradients plus the scalar loss.
-            let mut mats: Vec<Matrix> = net
-                .layers()
-                .iter()
-                .flat_map(|l| l.gradients().into_iter().cloned())
-                .collect();
-            mats.push(Matrix::full(1, 1, local_loss));
-            let reduced = handle.allreduce(mats)?;
-            let (loss_mat, grads) = reduced.split_last().expect("loss entry present");
-            losses.push(loss_mat[(0, 0)]);
-            let mut cursor = 0;
-            for layer in net.layers_mut() {
-                let count = layer.gradients().len();
-                layer.set_gradients(&grads[cursor..cursor + count]);
-                cursor += count;
-            }
-            net.step(cfg.lr);
+        if cfg.overlap {
+            device_body_overlapped(&handle, cfg, &per_device_features, &per_device_targets)
+        } else {
+            device_body_barriered(&handle, cfg, &per_device_features, &per_device_targets)
         }
-        let out = forward(&mut net, &handle)?;
-        Ok((losses, out))
     })?;
     let losses = results[0].0.clone();
     let blocks: Vec<Matrix> = results.into_iter().map(|(_, out)| out).collect();
@@ -187,6 +155,133 @@ pub fn train_distributed_with(
         epoch_losses: losses,
         outputs,
     })
+}
+
+/// The serial reference schedule: barriered collectives, one monolithic
+/// allreduce per epoch. Communication and compute strictly alternate.
+fn device_body_barriered(
+    handle: &crate::runtime::DeviceHandle<'_>,
+    cfg: &TrainConfig,
+    per_device_features: &[Matrix],
+    per_device_targets: &[Matrix],
+) -> Result<(Vec<f32>, Matrix), RuntimeError> {
+    let rank = handle.rank;
+    let lg = handle.local_graph();
+    let adj = &lg.graph;
+    let num_local = lg.num_local;
+    let mut net = GnnNetwork::new(cfg.arch, &cfg.dims, cfg.weight_seed);
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    let forward = |net: &mut GnnNetwork,
+                   handle: &crate::runtime::DeviceHandle<'_>|
+     -> Result<Matrix, RuntimeError> {
+        let mut h = per_device_features[rank].clone();
+        for layer in net.layers_mut() {
+            let full = handle.graph_allgather_barriered(&h)?;
+            h = layer.forward(adj, &full, num_local);
+        }
+        Ok(h)
+    };
+    for _ in 0..cfg.epochs {
+        let out = forward(&mut net, handle)?;
+        let (local_loss, grad_out) = mse_loss(&out, &per_device_targets[rank]);
+        // Backward through the layers, scattering remote gradients
+        // back after each layer.
+        let mut grad = grad_out;
+        for layer in net.layers_mut().iter_mut().rev() {
+            let grad_full = layer.backward(adj, &grad);
+            grad = handle.scatter_backward_barriered(&grad_full)?;
+        }
+        // Allreduce: parameter gradients plus the scalar loss.
+        let mut mats: Vec<Matrix> = net
+            .layers()
+            .iter()
+            .flat_map(|l| l.gradients().into_iter().cloned())
+            .collect();
+        mats.push(Matrix::full(1, 1, local_loss));
+        let reduced = handle.allreduce(mats)?;
+        let (loss_mat, grads) = reduced.split_last().expect("loss entry present");
+        losses.push(loss_mat[(0, 0)]);
+        let mut cursor = 0;
+        for layer in net.layers_mut() {
+            let count = layer.gradients().len();
+            layer.set_gradients(&grads[cursor..cursor + count]);
+            cursor += count;
+        }
+        net.step(cfg.lr);
+    }
+    let out = forward(&mut net, handle)?;
+    Ok((losses, out))
+}
+
+/// The overlapped schedule: pipelined collectives, per-layer gradient
+/// buckets launched on a background worker as soon as each layer's
+/// backward completes, and the next epoch's first allgather (whose input
+/// — the raw features — never changes) posted eagerly while gradients
+/// drain and the weights step.
+///
+/// Bitwise identical to [`device_body_barriered`]: buckets keep a fixed
+/// submission order, the fabric sums each matrix in rank order
+/// independently of bucketing, and layer-`L` gradients are final the
+/// moment layer `L`'s backward returns (later backward calls touch other
+/// layers only).
+fn device_body_overlapped(
+    handle: &crate::runtime::DeviceHandle<'_>,
+    cfg: &TrainConfig,
+    per_device_features: &[Matrix],
+    per_device_targets: &[Matrix],
+) -> Result<(Vec<f32>, Matrix), RuntimeError> {
+    let rank = handle.rank;
+    let lg = handle.local_graph();
+    let adj = &lg.graph;
+    let num_local = lg.num_local;
+    let mut net = GnnNetwork::new(cfg.arch, &cfg.dims, cfg.weight_seed);
+    let num_layers = net.num_layers();
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    let worker = handle.overlap_worker();
+    let forward = |net: &mut GnnNetwork,
+                   handle: &crate::runtime::DeviceHandle<'_>,
+                   first: crate::overlap::Pending<Matrix>|
+     -> Result<Matrix, RuntimeError> {
+        let mut h = per_device_features[rank].clone();
+        let mut first = Some(first);
+        for layer in net.layers_mut() {
+            let full = match first.take() {
+                Some(p) => handle.wait_pending(p)?,
+                None => handle.graph_allgather(&h)?,
+            };
+            h = layer.forward(adj, &full, num_local);
+        }
+        Ok(h)
+    };
+    let mut next_gather = handle.submit_allgather(&worker, per_device_features[rank].clone())?;
+    for _ in 0..cfg.epochs {
+        let out = forward(&mut net, handle, next_gather)?;
+        let (local_loss, grad_out) = mse_loss(&out, &per_device_targets[rank]);
+        let mut buckets = Vec::with_capacity(num_layers + 1);
+        buckets.push(handle.submit_allreduce(&worker, vec![Matrix::full(1, 1, local_loss)])?);
+        // Backward deepest layer first; each layer's gradient bucket
+        // reduces while the next layer's backward computes.
+        let mut grad = grad_out;
+        for layer in net.layers_mut().iter_mut().rev() {
+            let grad_full = layer.backward(adj, &grad);
+            grad = handle.scatter_backward(&grad_full)?;
+            let mats: Vec<Matrix> = layer.gradients().into_iter().cloned().collect();
+            buckets.push(handle.submit_allreduce(&worker, mats)?);
+        }
+        // Next epoch's first exchange streams while gradients drain.
+        next_gather = handle.submit_allgather(&worker, per_device_features[rank].clone())?;
+        let mut buckets = buckets.into_iter();
+        let loss = handle.wait_pending(buckets.next().expect("loss bucket"))?;
+        losses.push(loss[0][(0, 0)]);
+        for (offset, pending) in buckets.enumerate() {
+            let li = num_layers - 1 - offset;
+            let grads = handle.wait_pending(pending)?;
+            net.layers_mut()[li].set_gradients(&grads);
+        }
+        net.step(cfg.lr);
+    }
+    let out = forward(&mut net, handle, next_gather)?;
+    Ok((losses, out))
 }
 
 #[cfg(test)]

@@ -53,10 +53,21 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// Which collective implementation a measurement exercises.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Chunk-pipelined compiled path (the default `graph_allgather`).
+    Pipelined,
+    /// Stage-barriered compiled path.
+    Barriered,
+    /// Uncompiled table-walking reference.
+    Reference,
+}
+
 /// Allocations observed while every device runs `rounds` forward +
-/// backward pairs after `warm` unmeasured warm-up rounds, using either
-/// the compiled or the reference collectives.
-fn measure(compiled: bool, warm: usize, rounds: usize) -> usize {
+/// backward pairs after `warm` unmeasured warm-up rounds, using the
+/// collective implementation selected by `mode`.
+fn measure(mode: Mode, warm: usize, rounds: usize) -> usize {
     let graph = Dataset::WikiTalk.generate(0.0006, 5);
     let info = build_comm_info(&graph, Topology::fig6(), BuildOptions::default());
     let n = graph.num_vertices();
@@ -68,15 +79,15 @@ fn measure(compiled: bool, warm: usize, rounds: usize) -> usize {
     ALLOCS.store(0, Ordering::Relaxed);
     run_cluster(&info, |handle| {
         let step = |measured: bool| -> Result<(), dgcl::RuntimeError> {
-            let full = if compiled {
-                handle.graph_allgather(&per_device[handle.rank])?
-            } else {
-                handle.graph_allgather_reference(&per_device[handle.rank])?
+            let full = match mode {
+                Mode::Pipelined => handle.graph_allgather(&per_device[handle.rank])?,
+                Mode::Barriered => handle.graph_allgather_barriered(&per_device[handle.rank])?,
+                Mode::Reference => handle.graph_allgather_reference(&per_device[handle.rank])?,
             };
-            let grads = if compiled {
-                handle.scatter_backward(&full)?
-            } else {
-                handle.scatter_backward_reference(&full)?
+            let grads = match mode {
+                Mode::Pipelined => handle.scatter_backward(&full)?,
+                Mode::Barriered => handle.scatter_backward_barriered(&full)?,
+                Mode::Reference => handle.scatter_backward_reference(&full)?,
             };
             assert_eq!(grads.rows(), handle.local_graph().num_local);
             let _ = measured;
@@ -106,25 +117,34 @@ fn measure(compiled: bool, warm: usize, rounds: usize) -> usize {
 fn steady_state_allgather_stays_within_allocation_budget() {
     let warm = 3;
     let rounds = 5;
-    let compiled = measure(true, warm, rounds);
-    let reference = measure(false, warm, rounds);
+    let pipelined = measure(Mode::Pipelined, warm, rounds);
+    let barriered = measure(Mode::Barriered, warm, rounds);
+    let reference = measure(Mode::Reference, warm, rounds);
     let devices = 4;
     let op_pairs = devices * rounds;
-    // Per measured forward+backward pair the compiled path may allocate
+    // Per measured forward+backward pair a compiled path may allocate
     // the two result matrices it returns plus a small constant (ready
-    // protocol, barrier bookkeeping); everything stage-level must come
-    // from the recycle pool. The budget is deliberately generous — the
-    // uncompiled path blows through it by orders of magnitude.
+    // protocol, barrier bookkeeping); everything stage- and chunk-level
+    // must come from the recycle pool. The budget is deliberately
+    // generous — the uncompiled path blows through it by orders of
+    // magnitude. Chunk pipelining must not regress the budget: every
+    // per-chunk payload is checked out of and recycled back into the
+    // fabric pool, and the dependency scratch is reused across ops.
     let budget = op_pairs * 8 + 64;
     eprintln!(
-        "steady-state allocations: compiled={compiled} reference={reference} budget={budget}"
+        "steady-state allocations: pipelined={pipelined} barriered={barriered} \
+         reference={reference} budget={budget}"
     );
     assert!(
-        compiled <= budget,
-        "compiled collectives allocated {compiled} times in {op_pairs} op pairs (budget {budget})"
+        pipelined <= budget,
+        "pipelined collectives allocated {pipelined} times in {op_pairs} op pairs (budget {budget})"
     );
     assert!(
-        compiled * 4 < reference,
-        "compiled path ({compiled}) should allocate far less than the reference ({reference})"
+        barriered <= budget,
+        "barriered collectives allocated {barriered} times in {op_pairs} op pairs (budget {budget})"
+    );
+    assert!(
+        pipelined * 4 < reference,
+        "pipelined path ({pipelined}) should allocate far less than the reference ({reference})"
     );
 }

@@ -22,7 +22,7 @@ use dgcl_topology::Topology;
 
 use crate::compute::{GnnModel, GpuProfile};
 use crate::memory::{fits, training_bytes};
-use crate::network::{simulate_flows, simulate_plan, Flow};
+use crate::network::{simulate_flows, simulate_plan, simulate_plan_pipelined, Flow};
 use crate::transport::stage_barrier_seconds;
 
 /// The communication schemes compared in §7.
@@ -183,17 +183,42 @@ fn partitioned_compute_seconds(pg: &PartitionedGraph, cfg: &EpochConfig) -> f64 
     total
 }
 
-/// Communication time for one forward + backward epoch of a staged plan:
+/// Per-epoch communication cost of a staged plan, split into the parts
+/// the overlap model hides differently.
+struct PlanCommParts {
+    /// Forward + backward wire time across all layers.
+    transfer_seconds: f64,
+    /// Gradient-apply time across all layers (the part bucketed
+    /// allreduce overlap can hide behind backward compute).
+    apply_seconds: f64,
+    /// Extra sub-stage barrier cost of the non-atomic split.
+    substage_seconds: f64,
+    /// Average per-GPU volume in bytes.
+    avg_volume: u64,
+}
+
+impl PlanCommParts {
+    fn total_seconds(&self) -> f64 {
+        self.transfer_seconds + self.apply_seconds + self.substage_seconds
+    }
+}
+
+/// Communication cost for one forward + backward epoch of a staged plan:
 /// each layer runs the plan forward (embedding allgather) and reversed
 /// (gradient scatter), with the gradient-apply cost and, when enabled,
-/// the extra sub-stage barriers of the non-atomic split.
-fn plan_comm_seconds(
+/// the extra sub-stage barriers of the non-atomic split. With
+/// `chunk_rows` set, transfers go through the chunk-pipelined model
+/// ([`simulate_plan_pipelined`]) instead of the barriered one.
+fn plan_comm_parts(
     plan: &CommPlan,
     pg: &PartitionedGraph,
     topology: &Topology,
     cfg: &EpochConfig,
-) -> (f64, u64) {
-    let mut comm = 0.0;
+    chunk_rows: Option<usize>,
+) -> PlanCommParts {
+    let mut transfer = 0.0;
+    let mut apply_total = 0.0;
+    let mut substage_total = 0.0;
     let mut volume_total = 0u64;
     let reversed = plan.reversed();
     let extra_substages = if cfg.non_atomic {
@@ -204,10 +229,14 @@ fn plan_comm_seconds(
     } else {
         0
     };
+    let run = |p: &CommPlan, bytes: u64| match chunk_rows {
+        Some(rows) => simulate_plan_pipelined(p, topology, bytes, rows).total_seconds,
+        None => simulate_plan(p, topology, bytes).total_seconds,
+    };
     for &(fin, _) in &cfg.layer_dims() {
         let bytes = (4.0 * fin as f64 * cfg.upscale) as u64;
-        let fwd = simulate_plan(plan, topology, bytes);
-        let bwd = simulate_plan(&reversed, topology, bytes);
+        let fwd = run(plan, bytes);
+        let bwd = run(&reversed, bytes);
         // In the backward pass, each device folds the received gradients
         // into its embedding buffer; atomics throttle the receive path
         // of every stage, sub-stages pay extra barriers instead.
@@ -218,21 +247,103 @@ fn plan_comm_seconds(
             .unwrap_or(0);
         let (bwd_transfer, apply, substage_cost) = if cfg.non_atomic {
             (
-                bwd.total_seconds,
+                bwd,
                 cfg.profile.gradient_apply_seconds(recv_max, false),
                 extra_substages as f64 * stage_barrier_seconds(),
             )
         } else {
             (
-                bwd.total_seconds * cfg.profile.atomic_comm_slowdown(),
+                bwd * cfg.profile.atomic_comm_slowdown(),
                 cfg.profile.gradient_apply_seconds(recv_max, true),
                 0.0,
             )
         };
-        comm += fwd.total_seconds + bwd_transfer + apply + substage_cost;
+        transfer += fwd + bwd_transfer;
+        apply_total += apply;
+        substage_total += substage_cost;
         volume_total += 2 * plan.total_transfers() as u64 * bytes;
     }
-    (comm, volume_total / pg.num_parts.max(1) as u64)
+    PlanCommParts {
+        transfer_seconds: transfer,
+        apply_seconds: apply_total,
+        substage_seconds: substage_total,
+        avg_volume: volume_total / pg.num_parts.max(1) as u64,
+    }
+}
+
+/// Barriered communication time for one epoch (see [`plan_comm_parts`]).
+fn plan_comm_seconds(
+    plan: &CommPlan,
+    pg: &PartitionedGraph,
+    topology: &Topology,
+    cfg: &EpochConfig,
+) -> (f64, u64) {
+    let parts = plan_comm_parts(plan, pg, topology, cfg, None);
+    (parts.total_seconds(), parts.avg_volume)
+}
+
+/// Barriered vs pipelined epoch time for DGCL's plan on one setup (the
+/// `BENCH_overlap.json` experiment).
+#[derive(Debug, Clone)]
+pub struct OverlapBreakdown {
+    /// Number of simulated devices.
+    pub devices: usize,
+    /// Per-epoch compute time (identical in both schedules).
+    pub compute_seconds: f64,
+    /// Communication per epoch under the barriered schedule.
+    pub comm_barriered_seconds: f64,
+    /// Communication per epoch under the chunk-pipelined schedule, with
+    /// the overlappable gradient-apply already subtracted.
+    pub comm_pipelined_seconds: f64,
+    /// Gradient-apply time hidden behind backward compute by the
+    /// bucketed-allreduce overlap.
+    pub hidden_apply_seconds: f64,
+}
+
+impl OverlapBreakdown {
+    /// Epoch time with barriered collectives and serial communication.
+    pub fn barriered_epoch_seconds(&self) -> f64 {
+        self.compute_seconds + self.comm_barriered_seconds
+    }
+
+    /// Epoch time with chunk pipelining and communication–compute
+    /// overlap.
+    pub fn pipelined_epoch_seconds(&self) -> f64 {
+        self.compute_seconds + self.comm_pipelined_seconds
+    }
+}
+
+/// Simulates one DGCL epoch twice — barriered (PR 2's serial schedule)
+/// and pipelined (chunked transfers via [`simulate_plan_pipelined`] plus
+/// the trainer's bucketed-allreduce overlap, which hides gradient-apply
+/// behind the backward half of compute) — and reports both.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (zero layers).
+pub fn simulate_overlap(
+    graph: &CsrGraph,
+    topology: &Topology,
+    cfg: &EpochConfig,
+    chunk_rows: usize,
+) -> OverlapBreakdown {
+    assert!(cfg.layers > 0, "a GNN has at least one layer");
+    let pg = partition_for(graph, topology, cfg.seed);
+    let compute = partitioned_compute_seconds(&pg, cfg);
+    let outcome = spst_plan(&pg, topology, 4 * cfg.feature_size as u64, cfg.seed);
+    let barriered = plan_comm_parts(&outcome.plan, &pg, topology, cfg, None);
+    let pipelined = plan_comm_parts(&outcome.plan, &pg, topology, cfg, Some(chunk_rows));
+    // The worker applies each layer's reduced gradients while the next
+    // layer's backward matmuls run; the backward half of the epoch's
+    // compute bounds what can be hidden.
+    let hidden = pipelined.apply_seconds.min(0.5 * compute);
+    OverlapBreakdown {
+        devices: topology.num_gpus(),
+        compute_seconds: compute,
+        comm_barriered_seconds: barriered.total_seconds(),
+        comm_pipelined_seconds: pipelined.total_seconds() - hidden,
+        hidden_apply_seconds: hidden,
+    }
 }
 
 fn partitioned_memory_ok(pg: &PartitionedGraph, cfg: &EpochConfig) -> bool {
@@ -625,6 +736,28 @@ mod tests {
             dgcl_r.total_seconds(),
             dgcl.total_seconds()
         );
+    }
+
+    #[test]
+    fn pipelined_overlap_beats_barriered_epoch() {
+        // The acceptance shape of BENCH_overlap.json: strictly faster
+        // pipelined epochs on both datasets at 4 and 8 devices.
+        let scale = 0.002;
+        for dataset in [Dataset::WikiTalk, Dataset::WebGoogle] {
+            let graph = dataset.generate(scale, 9);
+            let cfg = cfg_for(dataset, GnnModel::Gcn, scale);
+            for devices in [4usize, 8] {
+                let topo = Topology::dgx1_subset(devices);
+                let b = simulate_overlap(&graph, &topo, &cfg, 64);
+                assert!(
+                    b.pipelined_epoch_seconds() < b.barriered_epoch_seconds(),
+                    "{dataset:?} at {devices} devices: pipelined {} vs barriered {}",
+                    b.pipelined_epoch_seconds(),
+                    b.barriered_epoch_seconds()
+                );
+                assert!(b.hidden_apply_seconds > 0.0);
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub mod network;
 pub mod transport;
 
 pub use compute::{GnnModel, GpuProfile};
-pub use epoch::{simulate_epoch, EpochBreakdown, EpochConfig, Method};
+pub use epoch::{
+    simulate_epoch, simulate_overlap, EpochBreakdown, EpochConfig, Method, OverlapBreakdown,
+};
 pub use faults::{simulate_plan_faulted, FaultedReport, SimFault, SimFaultPlan};
-pub use network::{simulate_flows, simulate_plan, Flow, NetworkReport};
+pub use network::{simulate_flows, simulate_plan, simulate_plan_pipelined, Flow, NetworkReport};

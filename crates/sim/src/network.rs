@@ -213,6 +213,90 @@ pub fn simulate_plan(plan: &CommPlan, topology: &Topology, bytes_per_vertex: u64
     }
 }
 
+/// Per-chunk flag cost of the pipelined executor: each extra chunk pays
+/// one decentralized ready-flag check instead of a full stage barrier.
+const CHUNK_FLAG_SECONDS: f64 = 1e-6;
+
+/// Simulates a staged plan executed by the chunk pipeline: payloads are
+/// split into `chunks` equal parts (sized so the largest step moves
+/// `chunk_rows` vertices per chunk), and a relay forwards chunk `k`
+/// while chunk `k + 1` is still in flight. With per-chunk stage times
+/// `t_s`, the classic pipeline makespan applies:
+///
+/// ```text
+/// T = Σ_s t_s  +  (C − 1) · max_s t_s  +  (C − 1) · flag  +  barrier
+/// ```
+///
+/// — one chunk rippling through every stage, the remaining `C − 1`
+/// chunks draining behind the slowest stage, a per-chunk flag cost, and
+/// a single end-of-operation barrier (the per-stage barriers of
+/// [`simulate_plan`] disappear: chunk dependencies replace them). The
+/// fill term pays each stage's flow-setup overhead once; the drain term
+/// uses overhead-free chunk times, because successive chunks stream over
+/// already-established transfers (the NCCL pipelining argument).
+///
+/// `stage_seconds` in the returned report holds the *per-chunk* stage
+/// times `t_s` (they do not sum to `total_seconds`); `flow_completions`
+/// come from the chunk-sized episodes.
+pub fn simulate_plan_pipelined(
+    plan: &CommPlan,
+    topology: &Topology,
+    bytes_per_vertex: u64,
+    chunk_rows: usize,
+) -> NetworkReport {
+    let chunk_rows = chunk_rows.max(1);
+    let largest_step = plan
+        .steps
+        .iter()
+        .map(|s| s.vertices.len())
+        .max()
+        .unwrap_or(0);
+    let chunks = largest_step.div_ceil(chunk_rows).clamp(1, 64) as u64;
+    let mut stage_seconds = Vec::with_capacity(plan.num_stages);
+    let mut steady_seconds = Vec::with_capacity(plan.num_stages);
+    let mut flow_completions = Vec::new();
+    for stage in 0..plan.num_stages {
+        let flows: Vec<Flow> = plan
+            .steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.stage == stage)
+            .map(|(idx, s)| Flow {
+                route: topology.route(s.src, s.dst).clone(),
+                bytes: (s.vertices.len() as u64 * bytes_per_vertex).div_ceil(chunks),
+                overhead_seconds: crate::transport::flow_overhead_seconds(topology, s.src, s.dst),
+                tag: idx,
+            })
+            .collect();
+        if flows.is_empty() {
+            stage_seconds.push(0.0);
+            steady_seconds.push(0.0);
+            continue;
+        }
+        let (t, completions) = simulate_flows(topology, &flows);
+        stage_seconds.push(t);
+        flow_completions.extend(completions);
+        // Steady-state chunk time: the same episode without setup
+        // overhead, for chunks streaming over established transfers.
+        let steady: Vec<Flow> = flows
+            .iter()
+            .map(|f| Flow {
+                overhead_seconds: 0.0,
+                ..f.clone()
+            })
+            .collect();
+        steady_seconds.push(simulate_flows(topology, &steady).0);
+    }
+    let fill: f64 = stage_seconds.iter().sum();
+    let slowest = steady_seconds.iter().copied().fold(0.0, f64::max);
+    let drain = (chunks - 1) as f64 * (slowest + CHUNK_FLAG_SECONDS);
+    NetworkReport {
+        total_seconds: fill + drain + stage_barrier_seconds(),
+        stage_seconds,
+        flow_completions,
+    }
+}
+
 impl NetworkReport {
     /// Splits a peer-to-peer stage's completion times into NVLink pairs
     /// and the rest (Table 2): returns `(nvlink_seconds, other_seconds)`,
@@ -335,6 +419,45 @@ mod tests {
         let (t, completions) = simulate_flows(&topo, &[f]);
         assert!((t - 1e-4).abs() < 1e-12);
         assert_eq!(completions[0].0, 7);
+    }
+
+    #[test]
+    fn pipelined_relay_plan_beats_barriered() {
+        use dgcl_plan::CommPlan;
+        let topo = Topology::fig6();
+        // 256 vertices hop 0 → 2 in stage 0, then relay 2 → 3 in stage 1:
+        // exactly the shape where chunk streaming hides the relay hop.
+        let edges: Vec<_> = (0..256)
+            .flat_map(|v| [(v, 0usize, 2usize, 0usize), (v, 2, 3, 1)])
+            .collect();
+        let plan = CommPlan::from_edges(4, edges);
+        let barriered = simulate_plan(&plan, &topo, 1 << 16).total_seconds;
+        let pipelined = simulate_plan_pipelined(&plan, &topo, 1 << 16, 16).total_seconds;
+        assert!(
+            pipelined < barriered,
+            "pipelined {pipelined} should beat barriered {barriered}"
+        );
+    }
+
+    #[test]
+    fn single_chunk_pipeline_matches_barriered_minus_barriers() {
+        use dgcl_plan::CommPlan;
+        let topo = Topology::fig6();
+        let edges: Vec<_> = (0..64)
+            .flat_map(|v| [(v, 0usize, 2usize, 0usize), (v, 2, 3, 1)])
+            .collect();
+        let plan = CommPlan::from_edges(4, edges);
+        let barriered = simulate_plan(&plan, &topo, 1 << 12);
+        let single = simulate_plan_pipelined(&plan, &topo, 1 << 12, usize::MAX);
+        // One chunk: same episodes, but per-stage barriers collapse into
+        // one end-of-op barrier.
+        let expect = barriered.total_seconds
+            - (plan.num_stages as f64 - 1.0) * crate::transport::stage_barrier_seconds();
+        assert!(
+            (single.total_seconds - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            single.total_seconds
+        );
     }
 
     #[test]
