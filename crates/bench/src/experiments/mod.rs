@@ -20,8 +20,10 @@
 //! | `ablation` | (extra) | SPST design-choice ablations |
 //! | `compute` | (extra) | hot-path kernels: threaded matmul, parallel CSR aggregation, compiled allgather |
 //! | `overlap` | (extra) | pipelined chunked collectives vs barriered schedule, simulated + measured |
+//! | `collectives` | (extra) | allreduce algorithm zoo: autotuned choice vs per-size best/worst |
 
 mod ablation;
+mod collectives;
 mod compute;
 mod fig10;
 mod fig11;
@@ -43,8 +45,25 @@ use crate::harness::RunContext;
 
 /// All experiment ids in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "fig2", "table2", "table3", "fig4", "fig7", "fig8", "fig9", "table5", "table6",
-    "fig10", "table7", "table8", "fig11", "table9", "ablation", "compute", "overlap",
+    "table1",
+    "fig2",
+    "table2",
+    "table3",
+    "fig4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table5",
+    "table6",
+    "fig10",
+    "table7",
+    "table8",
+    "fig11",
+    "table9",
+    "ablation",
+    "compute",
+    "overlap",
+    "collectives",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -68,6 +87,7 @@ pub fn run(id: &str, ctx: &mut RunContext) -> bool {
         "ablation" => ablation::run(ctx),
         "compute" => compute::run(ctx),
         "overlap" => overlap::run(ctx),
+        "collectives" => collectives::run(ctx),
         _ => return false,
     }
     true

@@ -41,6 +41,7 @@ use std::time::{Duration, Instant};
 use dgcl_tensor::Matrix;
 use parking_lot::{Condvar, Mutex};
 
+use crate::collectives::AllreducePolicy;
 use crate::error::{ClusterFailure, RuntimeError};
 use crate::fault::FaultPlan;
 
@@ -76,9 +77,6 @@ pub fn expect_payload(
 /// Messages held back by reorder faults, keyed by `(src, dst)` link.
 type HeldMessages = HashMap<(usize, usize), Vec<(MsgKey, Vec<f32>)>>;
 
-/// How long a blocked wait sleeps between poison/deadline checks.
-const WAIT_TICK: Duration = Duration::from_millis(5);
-
 /// Runtime configuration of one cluster run's fabric.
 #[derive(Debug, Clone)]
 pub struct FabricConfig {
@@ -86,6 +84,20 @@ pub struct FabricConfig {
     /// makes no progress for this long produces [`RuntimeError::Timeout`]
     /// on the waiter instead of an eternal block.
     pub collective_deadline: Duration,
+    /// How long a blocked wait sleeps between poison/deadline checks.
+    /// Chaos tests and latency sweeps can tighten it; the default keeps
+    /// the historical 5 ms tick.
+    pub poll_interval: Duration,
+    /// Which allreduce algorithm [`DeviceHandle::allreduce`] dispatches
+    /// to, either fixed or picked per message size by a tuned selector.
+    /// The default keeps the rendezvous reference.
+    ///
+    /// [`DeviceHandle::allreduce`]: crate::runtime::DeviceHandle::allreduce
+    pub allreduce: AllreducePolicy,
+    /// Elements per pipeline chunk for the zoo collectives (ring,
+    /// halving/doubling, tree broadcast). Chunking never changes bits —
+    /// only how finely chunks stream through the dependency pipeline.
+    pub collective_chunk: usize,
     /// Maximum number of retired buffers the recycle pool retains.
     pub max_pooled_buffers: usize,
     /// Maximum total bytes (summed capacity) the recycle pool retains.
@@ -98,6 +110,9 @@ impl Default for FabricConfig {
     fn default() -> Self {
         Self {
             collective_deadline: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(5),
+            allreduce: AllreducePolicy::default(),
+            collective_chunk: 4096,
             max_pooled_buffers: 256,
             max_pooled_bytes: 256 << 20,
             faults: FaultPlan::none(),
@@ -200,6 +215,13 @@ impl Fabric {
     /// so small requests do not consume the pool's large buffers. Pair
     /// with [`Fabric::recycle`].
     pub fn checkout(&self, capacity: usize) -> Vec<f32> {
+        // A zero-capacity request must not steal a pooled buffer (every
+        // buffer would "fit" and best-fit would hand out the smallest).
+        // Empty payloads stay off the pool entirely, mirroring
+        // `recycle`'s zero-capacity early return.
+        if capacity == 0 {
+            return Vec::new();
+        }
         let mut pool = self.buffers.lock();
         let fit = pool
             .bufs
@@ -316,6 +338,31 @@ impl Fabric {
         }
     }
 
+    /// One bounded-wait bookkeeping step, shared by every blocking poll
+    /// loop (ready flags, mailbox receives, the allreduce rendezvous):
+    /// fails if the fabric is poisoned or `start` has outlived the
+    /// collective deadline, otherwise the caller polls again after
+    /// [`FabricConfig::poll_interval`].
+    fn wait_tick(
+        &self,
+        start: Instant,
+        waiter: usize,
+        op: &'static str,
+        stage: impl FnOnce() -> String,
+    ) -> Result<(), RuntimeError> {
+        if self.is_poisoned() {
+            return Err(self.poison_error());
+        }
+        if start.elapsed() > self.config.collective_deadline {
+            return Err(RuntimeError::Timeout {
+                rank: waiter,
+                op,
+                stage: stage(),
+            });
+        }
+        Ok(())
+    }
+
     /// Marks `device` as having entered operation `op` (its ready flag).
     pub fn set_ready(&self, device: usize, op: u64) {
         self.ready[device].fetch_max(op, Ordering::Release);
@@ -333,16 +380,9 @@ impl Fabric {
             if self.ready[device].load(Ordering::Acquire) >= op {
                 return Ok(());
             }
-            if self.is_poisoned() {
-                return Err(self.poison_error());
-            }
-            if start.elapsed() > self.config.collective_deadline {
-                return Err(RuntimeError::Timeout {
-                    rank: waiter,
-                    op: "wait_ready",
-                    stage: format!("peer {device} never reached op {op}"),
-                });
-            }
+            self.wait_tick(start, waiter, "wait_ready", || {
+                format!("peer {device} never reached op {op}")
+            })?;
             std::thread::yield_now();
         }
     }
@@ -472,17 +512,10 @@ impl Fabric {
             if let Some(payload) = slots.remove(&key) {
                 return Ok(payload);
             }
-            if self.is_poisoned() {
-                return Err(self.poison_error());
-            }
-            if start.elapsed() > self.config.collective_deadline {
-                return Err(RuntimeError::Timeout {
-                    rank: dst,
-                    op: "recv",
-                    stage: format!("message {key:?} from {src} never arrived"),
-                });
-            }
-            mb.signal.wait_for(&mut slots, WAIT_TICK);
+            self.wait_tick(start, dst, "recv", || {
+                format!("message {key:?} from {src} never arrived")
+            })?;
+            mb.signal.wait_for(&mut slots, self.config.poll_interval);
         }
     }
 
@@ -525,20 +558,12 @@ impl Fabric {
     /// rendezvous cannot complete.
     pub fn allreduce(&self, rank: usize, mats: Vec<Matrix>) -> Result<Vec<Matrix>, RuntimeError> {
         let start = Instant::now();
-        let deadline_err = |op_rank: usize| RuntimeError::Timeout {
-            rank: op_rank,
-            op: "allreduce",
-            stage: "rendezvous never completed".to_string(),
-        };
+        let rendezvous = || "rendezvous never completed".to_string();
         let mut st = self.reduce.lock();
         while !matches!(st.phase, ReducePhase::Filling) {
-            if self.is_poisoned() {
-                return Err(self.poison_error());
-            }
-            if start.elapsed() > self.config.collective_deadline {
-                return Err(deadline_err(rank));
-            }
-            self.reduce_signal.wait_for(&mut st, WAIT_TICK);
+            self.wait_tick(start, rank, "allreduce", rendezvous)?;
+            self.reduce_signal
+                .wait_for(&mut st, self.config.poll_interval);
         }
         st.slots[rank] = Some(mats);
         st.filled += 1;
@@ -578,13 +603,9 @@ impl Fabric {
             self.reduce_signal.notify_all();
         } else {
             while !matches!(st.phase, ReducePhase::Draining) {
-                if self.is_poisoned() {
-                    return Err(self.poison_error());
-                }
-                if start.elapsed() > self.config.collective_deadline {
-                    return Err(deadline_err(rank));
-                }
-                self.reduce_signal.wait_for(&mut st, WAIT_TICK);
+                self.wait_tick(start, rank, "allreduce", rendezvous)?;
+                self.reduce_signal
+                    .wait_for(&mut st, self.config.poll_interval);
             }
         }
         st.departed += 1;
@@ -783,6 +804,22 @@ mod tests {
         assert_eq!(got.capacity(), 64, "smallest sufficient buffer wins");
         let got2 = f.checkout(100);
         assert_eq!(got2.capacity(), 256);
+    }
+
+    #[test]
+    fn zero_capacity_checkout_leaves_the_pool_alone() {
+        let f = Fabric::new(1);
+        let mut b = Vec::with_capacity(64);
+        b.push(0.0f32);
+        f.recycle(b);
+        let before = f.pool_stats();
+        // Used to steal the smallest pooled buffer: every buffer has
+        // capacity >= 0, so best-fit handed one out for free.
+        let empty = f.checkout(0);
+        assert_eq!(empty.capacity(), 0, "no pooled buffer is stolen");
+        assert_eq!(f.pool_stats(), before);
+        f.recycle(empty); // Zero-capacity recycle is a no-op too.
+        assert_eq!(f.pool_stats(), before);
     }
 
     #[test]

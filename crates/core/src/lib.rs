@@ -58,6 +58,7 @@
 //! assert!(diff < 1e-1 * single.epoch_losses[0].abs().max(1.0));
 //! ```
 
+pub mod collectives;
 pub mod comm_info;
 pub mod error;
 pub mod fabric;
@@ -68,6 +69,9 @@ pub mod runtime;
 pub mod schedule;
 pub mod trainer;
 
+pub use collectives::{
+    AlgorithmSelector, AllreduceAlgo, AllreducePolicy, BroadcastAlgo, CollectiveEngine,
+};
 pub use comm_info::{build_comm_info, try_build_comm_info, BuildOptions, CommInfo};
 pub use error::{ClusterError, ClusterFailure, RuntimeError};
 pub use fabric::{Fabric, FabricConfig};

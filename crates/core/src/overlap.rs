@@ -34,6 +34,7 @@ use std::time::Duration;
 use dgcl_plan::tuples::StageIo;
 use dgcl_tensor::Matrix;
 
+use crate::collectives::CollectiveEngine;
 use crate::error::{ClusterFailure, RuntimeError};
 use crate::fabric::Fabric;
 use crate::pipeline::{self, PipelineSchedule, PipelineScratch};
@@ -41,8 +42,10 @@ use crate::schedule::DeviceSchedule;
 
 /// One background collective.
 enum Job {
-    /// Sum matrices across ranks (per-layer gradient bucket).
+    /// Sum matrices across ranks (per-layer gradient bucket) under a
+    /// pre-assigned op id.
     Allreduce {
+        op: u64,
         mats: Vec<Matrix>,
         reply: Sender<Result<Vec<Matrix>, RuntimeError>>,
     },
@@ -120,10 +123,15 @@ impl OverlapWorker {
         let (tx, rx) = channel::<Job>();
         let join = std::thread::spawn(move || {
             let mut scratch = PipelineScratch::default();
+            // The worker's own collective engine: op ids come from the
+            // main thread, so its messages cannot collide with it.
+            let mut engine = CollectiveEngine::new(rank, fabric.num_devices());
             while let Ok(job) = rx.recv() {
                 match job {
-                    Job::Allreduce { mats, reply } => {
-                        let r = fabric.allreduce(rank, mats);
+                    Job::Allreduce { op, mats, reply } => {
+                        let elems: usize = mats.iter().map(Matrix::len).sum();
+                        let algo = fabric.config().allreduce.pick(4 * elems as u64);
+                        let r = engine.allreduce(&fabric, op, algo, mats);
                         poison_own(&fabric, rank, &r);
                         let _ = reply.send(r);
                     }
@@ -158,14 +166,15 @@ impl OverlapWorker {
         }
     }
 
-    /// Enqueues a gradient-bucket allreduce. The caller must already
-    /// have entered the op on the main thread (`begin_op`).
+    /// Enqueues a gradient-bucket allreduce under `op` (assigned by the
+    /// main thread's `begin_op`, so keys agree across ranks).
     pub(crate) fn submit_allreduce(
         &self,
+        op: u64,
         mats: Vec<Matrix>,
     ) -> Result<Pending<Vec<Matrix>>, RuntimeError> {
         let (reply, rx) = channel();
-        self.send(Job::Allreduce { mats, reply })?;
+        self.send(Job::Allreduce { op, mats, reply })?;
         Ok(self.pending(rx, "allreduce"))
     }
 

@@ -121,6 +121,10 @@ pub struct PipelineScratch {
 pub enum ChunkIo<'a> {
     /// Append the rows named by `refs` to `payload` (send path).
     Pack {
+        /// Table entry the chunk belongs to, for callers whose packing
+        /// semantics differ per entry (the collective zoo). The planner
+        /// closures ignore it.
+        entry: u32,
         /// Packed row references of the chunk.
         refs: &'a [u32],
         /// Destination payload, pre-sized to `refs.len() * cols`.
@@ -128,6 +132,9 @@ pub enum ChunkIo<'a> {
     },
     /// Apply `payload`'s rows to the rows named by `refs` (receive path).
     Apply {
+        /// Table entry the chunk belongs to, for callers whose apply
+        /// semantics differ per entry (overwrite vs accumulate).
+        entry: u32,
         /// Packed row references of the chunk.
         refs: &'a [u32],
         /// The received rows, `refs.len() * cols` floats.
@@ -275,6 +282,7 @@ where
         let key: MsgKey = (op, a.stage, a.substage, a.chunk);
         expect_payload(rank, payload.len(), refs.len() * cols, key)?;
         io(ChunkIo::Apply {
+            entry: a.entry,
             refs,
             payload: &payload,
         });
@@ -302,6 +310,7 @@ where
                         [a.rows.start as usize..a.rows.end as usize];
                     let mut payload = fabric.checkout(refs.len() * cols);
                     io(ChunkIo::Pack {
+                        entry: a.entry,
                         refs,
                         payload: &mut payload,
                     });
@@ -389,7 +398,7 @@ pub(crate) fn forward_allgather(
             cols,
             scratch,
             |req| match req {
-                ChunkIo::Pack { refs, payload } => {
+                ChunkIo::Pack { refs, payload, .. } => {
                     for &r in refs {
                         let r = r as usize;
                         let row = if r < num_total {
@@ -401,7 +410,7 @@ pub(crate) fn forward_allgather(
                         payload.extend_from_slice(row);
                     }
                 }
-                ChunkIo::Apply { refs, payload } => {
+                ChunkIo::Apply { refs, payload, .. } => {
                     for (i, &r) in refs.iter().enumerate() {
                         let row = &payload[i * cols..(i + 1) * cols];
                         let r = r as usize;
@@ -460,7 +469,7 @@ pub(crate) fn backward_scatter(
             cols,
             scratch,
             |req| match req {
-                ChunkIo::Pack { refs, payload } => {
+                ChunkIo::Pack { refs, payload, .. } => {
                     for &r in refs {
                         let r = r as usize;
                         let row = if r < num_local {
@@ -472,7 +481,7 @@ pub(crate) fn backward_scatter(
                         payload.extend_from_slice(row);
                     }
                 }
-                ChunkIo::Apply { refs, payload } => {
+                ChunkIo::Apply { refs, payload, .. } => {
                     for (i, &r) in refs.iter().enumerate() {
                         let row = &payload[i * cols..(i + 1) * cols];
                         let r = r as usize;

@@ -16,6 +16,7 @@ use dgcl_partition::relation::LocalGraph;
 use dgcl_plan::tuples::SendRecvTables;
 use dgcl_tensor::Matrix;
 
+use crate::collectives::{AllreduceAlgo, BroadcastAlgo, CollectiveEngine};
 use crate::comm_info::CommInfo;
 use crate::error::{ClusterError, ClusterFailure, RuntimeError};
 use crate::fabric::{expect_payload, Fabric, FabricConfig, MsgKey};
@@ -31,6 +32,7 @@ pub struct DeviceHandle<'a> {
     fabric: Arc<Fabric>,
     op_counter: Cell<u64>,
     scratch: RefCell<PipelineScratch>,
+    engine: RefCell<CollectiveEngine>,
 }
 
 /// Per-(stage, substage) execution order of a device's table entries:
@@ -499,13 +501,69 @@ impl<'a> DeviceHandle<'a> {
     /// Element-wise sum of `mats` across all devices (model-gradient
     /// synchronisation). Every device receives the identical result.
     ///
+    /// The algorithm comes from the fabric's
+    /// [`crate::collectives::AllreducePolicy`] — the rendezvous
+    /// reference by default, or a cost-model-picked ring /
+    /// halving-doubling schedule. All algorithms are bitwise identical,
+    /// so the policy affects wall-clock only.
+    ///
     /// # Errors
     ///
     /// Any [`RuntimeError`]; see [`DeviceHandle::graph_allgather`].
     pub fn allreduce(&self, mats: Vec<Matrix>) -> Result<Vec<Matrix>, RuntimeError> {
-        let r = self
-            .begin_op()
-            .and_then(|_| self.fabric.allreduce(self.rank, mats));
+        let elems: usize = mats.iter().map(Matrix::len).sum();
+        let algo = self.fabric.config().allreduce.pick(4 * elems as u64);
+        self.allreduce_with(algo, mats)
+    }
+
+    /// [`DeviceHandle::allreduce`] with an explicit algorithm,
+    /// bypassing the fabric's policy. Every rank must pass the same
+    /// algorithm on the same call.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; see [`DeviceHandle::graph_allgather`].
+    pub fn allreduce_with(
+        &self,
+        algo: AllreduceAlgo,
+        mats: Vec<Matrix>,
+    ) -> Result<Vec<Matrix>, RuntimeError> {
+        let r = self.begin_op().and_then(|op| {
+            self.engine
+                .borrow_mut()
+                .allreduce(&self.fabric, op, algo, mats)
+        });
+        self.poison_on_err(r)
+    }
+
+    /// Broadcasts `root`'s matrix to every rank (binomial tree). All
+    /// ranks pass a matrix of the same shape; non-root contents are
+    /// overwritten with the root's.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; see [`DeviceHandle::graph_allgather`].
+    pub fn broadcast(&self, root: usize, mat: Matrix) -> Result<Matrix, RuntimeError> {
+        self.broadcast_with(BroadcastAlgo::BinomialTree, root, mat)
+    }
+
+    /// [`DeviceHandle::broadcast`] with an explicit algorithm. Every
+    /// rank must pass the same algorithm and root on the same call.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; see [`DeviceHandle::graph_allgather`].
+    pub fn broadcast_with(
+        &self,
+        algo: BroadcastAlgo,
+        root: usize,
+        mat: Matrix,
+    ) -> Result<Matrix, RuntimeError> {
+        let r = self.begin_op().and_then(|op| {
+            self.engine
+                .borrow_mut()
+                .broadcast(&self.fabric, op, algo, root, mat)
+        });
         self.poison_on_err(r)
     }
 
@@ -540,7 +598,9 @@ impl<'a> DeviceHandle<'a> {
         worker: &OverlapWorker,
         mats: Vec<Matrix>,
     ) -> Result<Pending<Vec<Matrix>>, RuntimeError> {
-        let r = self.begin_op().and_then(|_| worker.submit_allreduce(mats));
+        let r = self
+            .begin_op()
+            .and_then(|op| worker.submit_allreduce(op, mats));
         self.poison_on_err(r)
     }
 
@@ -634,6 +694,7 @@ where
                     fabric: fabric.clone(),
                     op_counter: Cell::new(0),
                     scratch: RefCell::new(PipelineScratch::default()),
+                    engine: RefCell::new(CollectiveEngine::new(rank, info.num_devices())),
                 };
                 let caught =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(handle)));

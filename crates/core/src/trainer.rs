@@ -18,6 +18,7 @@ use dgcl_gnn::{Architecture, GnnNetwork};
 use dgcl_graph::CsrGraph;
 use dgcl_tensor::Matrix;
 
+use crate::collectives::{AlgorithmSelector, AllreduceAlgo, AllreducePolicy};
 use crate::comm_info::CommInfo;
 use crate::error::{ClusterError, RuntimeError};
 use crate::fabric::FabricConfig;
@@ -43,6 +44,12 @@ pub struct TrainConfig {
     /// bucket order, rank-ordered sums); `false` runs the fully
     /// barriered reference.
     pub overlap: bool,
+    /// Allreduce algorithm override for the gradient buckets. `None`
+    /// (the default) lets the cost-model autotuner pick per bucket
+    /// size; `Some(algo)` forces one algorithm. Every algorithm is
+    /// bitwise identical to the rendezvous reference, so this only
+    /// changes wall-clock, never numerics.
+    pub allreduce: Option<AllreduceAlgo>,
 }
 
 impl TrainConfig {
@@ -56,6 +63,7 @@ impl TrainConfig {
             lr: 1e-3,
             weight_seed: 17,
             overlap: true,
+            allreduce: None,
         }
     }
 }
@@ -122,6 +130,12 @@ pub fn train_distributed(
 /// chaos suite uses this to inject [`crate::fault::FaultPlan`]s and to
 /// shrink the collective deadline.
 ///
+/// The gradient allreduce algorithm resolves in this order:
+/// `cfg.allreduce` (explicit override) beats a non-default
+/// `fabric_config.allreduce` policy, which beats the default — an
+/// [`AlgorithmSelector`] tuned offline for `info`'s topology and
+/// device count.
+///
 /// # Errors
 ///
 /// [`ClusterError`] if any device fails; no failure mode hangs.
@@ -135,8 +149,25 @@ pub fn train_distributed_with(
     features: &Matrix,
     targets: &Matrix,
     cfg: &TrainConfig,
-    fabric_config: FabricConfig,
+    mut fabric_config: FabricConfig,
 ) -> Result<TrainReport, ClusterError> {
+    match cfg.allreduce {
+        Some(algo) => fabric_config.allreduce = AllreducePolicy::Fixed(algo),
+        // Autotune only over the default policy; an explicit caller
+        // policy (chaos tests pinning an algorithm) stands.
+        None => {
+            if matches!(
+                fabric_config.allreduce,
+                AllreducePolicy::Fixed(AllreduceAlgo::Rendezvous)
+            ) {
+                fabric_config.allreduce = AllreducePolicy::Auto(AlgorithmSelector::tune(
+                    &info.topology,
+                    info.num_devices(),
+                    4 * fabric_config.collective_chunk as u64,
+                ));
+            }
+        }
+    }
     assert_eq!(features.rows(), graph.num_vertices(), "feature rows");
     assert_eq!(targets.rows(), graph.num_vertices(), "target rows");
     let per_device_features = info.dispatch_features(features);

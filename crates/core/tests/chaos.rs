@@ -17,8 +17,8 @@ use std::time::{Duration, Instant};
 
 use dgcl::trainer::{train_distributed, train_distributed_with, TrainConfig};
 use dgcl::{
-    build_comm_info, run_cluster_with, BuildOptions, ClusterFailure, CommInfo, FabricConfig,
-    FaultPlan, RuntimeError,
+    build_comm_info, run_cluster_with, AllreduceAlgo, BroadcastAlgo, BuildOptions, ClusterFailure,
+    CommInfo, FabricConfig, FaultEvent, FaultPlan, RuntimeError,
 };
 use dgcl_gnn::Architecture;
 use dgcl_graph::{CsrGraph, Dataset};
@@ -138,6 +138,80 @@ fn crash_fault_fails_every_survivor_within_deadline() {
                 other => panic!("rank {rank}: expected poison, got {other}"),
             }
         }
+    });
+}
+
+/// Shared harness for the zoo crash cases: rank 1 dies mid-pipeline
+/// during `body`'s collective; every survivor must report the poison
+/// within the collective deadline.
+fn crash_mid_collective_case<R: Send + std::fmt::Debug>(
+    body: impl Fn(dgcl::DeviceHandle<'_>) -> Result<R, RuntimeError> + Sync,
+) {
+    let graph = Dataset::WikiTalk.generate(0.0005, 3);
+    let info = build_comm_info(&graph, Topology::fig6(), BuildOptions::default());
+    let deadline = Duration::from_secs(20);
+    let config = FabricConfig {
+        collective_deadline: deadline,
+        // Tiny chunks: many actions in flight when rank 1 dies.
+        collective_chunk: 4,
+        faults: FaultPlan {
+            events: vec![FaultEvent::CrashMidOp {
+                rank: 1,
+                at_op: 1,
+                after_actions: 1,
+            }],
+        },
+        ..FabricConfig::default()
+    };
+    let start = Instant::now();
+    let err = run_cluster_with(&info, config, body).expect_err("crash mid-op must fail");
+    assert!(
+        start.elapsed() < deadline,
+        "unwind took {:?}, deadline was {deadline:?}",
+        start.elapsed()
+    );
+    assert_eq!(err.rank, 1, "{err}");
+    assert!(
+        matches!(
+            err.cause,
+            ClusterFailure::Error(RuntimeError::InjectedCrash { rank: 1, at_op: 1 })
+        ),
+        "{err}"
+    );
+    let survivors: Vec<_> = err.surviving_errors().collect();
+    assert_eq!(survivors.len(), info.num_devices() - 1);
+    for (rank, failure) in survivors {
+        match failure {
+            ClusterFailure::Error(RuntimeError::Poisoned { origin, reason }) => {
+                assert_eq!(*origin, 1, "rank {rank} blames the crashed rank");
+                assert!(reason.contains("injected crash"), "{reason}");
+            }
+            other => panic!("rank {rank}: expected poison, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn crash_mid_ring_allreduce_poisons_every_survivor() {
+    with_watchdog(Duration::from_secs(120), || {
+        crash_mid_collective_case(|handle| {
+            let mats = vec![Matrix::full(16, 8, handle.rank as f32 + 0.5)];
+            handle.allreduce_with(AllreduceAlgo::Ring, mats)
+        });
+    });
+}
+
+#[test]
+fn crash_mid_tree_broadcast_poisons_every_survivor() {
+    with_watchdog(Duration::from_secs(120), || {
+        crash_mid_collective_case(|handle| {
+            let mat = Matrix::full(16, 8, handle.rank as f32 + 0.5);
+            let out = handle.broadcast_with(BroadcastAlgo::BinomialTree, 0, mat)?;
+            // The root and its completed subtree owe nobody anything in
+            // a broadcast; the next collective (as in any real training
+            // step) is where they must observe the poison.
+            handle.allreduce(vec![out])
+        });
     });
 }
 

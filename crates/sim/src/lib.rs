@@ -20,6 +20,7 @@
 //!   plans, replayed against the fluid network model (delays stretch
 //!   stages, crashes truncate the plan where the rank died).
 
+pub mod collectives;
 pub mod compute;
 pub mod epoch;
 pub mod faults;
@@ -27,6 +28,10 @@ pub mod memory;
 pub mod network;
 pub mod transport;
 
+pub use collectives::{
+    allreduce_cost, allreduce_costs, broadcast_cost, AlgorithmSelector, AllreduceAlgo,
+    BroadcastAlgo,
+};
 pub use compute::{GnnModel, GpuProfile};
 pub use epoch::{
     simulate_epoch, simulate_overlap, EpochBreakdown, EpochConfig, Method, OverlapBreakdown,

@@ -215,7 +215,7 @@ pub fn simulate_plan(plan: &CommPlan, topology: &Topology, bytes_per_vertex: u64
 
 /// Per-chunk flag cost of the pipelined executor: each extra chunk pays
 /// one decentralized ready-flag check instead of a full stage barrier.
-const CHUNK_FLAG_SECONDS: f64 = 1e-6;
+pub(crate) const CHUNK_FLAG_SECONDS: f64 = 1e-6;
 
 /// Simulates a staged plan executed by the chunk pipeline: payloads are
 /// split into `chunks` equal parts (sized so the largest step moves
