@@ -21,8 +21,10 @@
 //! | `compute` | (extra) | hot-path kernels: threaded matmul, parallel CSR aggregation, compiled allgather |
 //! | `overlap` | (extra) | pipelined chunked collectives vs barriered schedule, simulated + measured |
 //! | `collectives` | (extra) | allreduce algorithm zoo: autotuned choice vs per-size best/worst |
+//! | `cagnet` | (extra) | backend crossover: planned gather vs CAGNET block SpMM, selector verdicts |
 
 mod ablation;
+mod cagnet;
 mod collectives;
 mod compute;
 mod fig10;
@@ -64,6 +66,7 @@ pub const ALL: &[&str] = &[
     "compute",
     "overlap",
     "collectives",
+    "cagnet",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -88,6 +91,7 @@ pub fn run(id: &str, ctx: &mut RunContext) -> bool {
         "compute" => compute::run(ctx),
         "overlap" => overlap::run(ctx),
         "collectives" => collectives::run(ctx),
+        "cagnet" => cagnet::run(ctx),
         _ => return false,
     }
     true

@@ -138,7 +138,49 @@ struct Compiled {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum CacheKey {
     Allreduce(AllreduceAlgo, usize, usize),
-    Broadcast(BroadcastAlgo, usize, usize, usize),
+    /// `(algo, root position, group, elems, chunk)` — whole-cluster
+    /// broadcasts are the `GroupSpec::all` special case.
+    Broadcast(BroadcastAlgo, usize, GroupSpec, usize, usize),
+}
+
+/// An arithmetic subset of ranks a collective runs over: members are
+/// `offset + i·stride` for `i in 0..len`. The CAGNET backend's grid
+/// rows (`stride == 1`) and grid columns (`stride == c`) are both of
+/// this shape, as is the whole cluster (`offset 0, stride 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupSpec {
+    /// Rank of member 0.
+    pub offset: usize,
+    /// Rank distance between consecutive members.
+    pub stride: usize,
+    /// Number of members.
+    pub len: usize,
+}
+
+impl GroupSpec {
+    /// The whole cluster `0..devices`.
+    pub fn all(devices: usize) -> Self {
+        GroupSpec {
+            offset: 0,
+            stride: 1,
+            len: devices,
+        }
+    }
+
+    /// The rank of member `pos`.
+    pub fn rank(&self, pos: usize) -> usize {
+        self.offset + pos * self.stride
+    }
+
+    /// The member position of `rank`, or `None` if it is not a member.
+    pub fn pos_of(&self, rank: usize) -> Option<usize> {
+        let stride = self.stride.max(1);
+        if rank < self.offset {
+            return None;
+        }
+        let d = rank - self.offset;
+        (d.is_multiple_of(stride) && d / stride < self.len).then_some(d / stride)
+    }
 }
 
 /// Groups sorted entries into per-stage [`StageGroup`]s and compiles
@@ -409,16 +451,52 @@ impl CollectiveEngine {
         op: u64,
         algo: BroadcastAlgo,
         root: usize,
+        mat: Matrix,
+    ) -> Result<Matrix, RuntimeError> {
+        self.broadcast_group(fabric, op, algo, GroupSpec::all(self.devices), root, mat)
+    }
+
+    /// Broadcasts the matrix of the member at `root_pos` to every member
+    /// of `group`; the schedule only ever touches member ranks, so
+    /// disjoint groups can run concurrently under the same op id. Every
+    /// member must call with the same op id, algorithm, group, root
+    /// position and shape; non-members must not call at all (they bump
+    /// their op counter with an empty collective instead).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; see [`CollectiveEngine::allreduce`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this rank is not a member of `group` or `root_pos` is
+    /// out of range.
+    pub fn broadcast_group(
+        &mut self,
+        fabric: &Fabric,
+        op: u64,
+        algo: BroadcastAlgo,
+        group: GroupSpec,
+        root_pos: usize,
         mut mat: Matrix,
     ) -> Result<Matrix, RuntimeError> {
         let elems = mat.len();
-        if self.devices < 2 || elems == 0 {
+        if group.len < 2 || elems == 0 {
             return Ok(mat);
         }
-        let n = self.devices;
-        let entries = broadcast_entries(algo, self.rank, n, root, elems);
+        assert!(root_pos < group.len, "root position outside the group");
+        let pos = group
+            .pos_of(self.rank)
+            .expect("broadcast_group caller must be a group member");
+        // Build the schedule in group-position space, then remap every
+        // peer to its absolute rank — that is all the executor needs,
+        // since messages are addressed by (src, dst, key).
+        let mut entries = broadcast_entries(algo, pos, group.len, root_pos, elems);
+        for e in &mut entries {
+            e.peer = group.rank(e.peer);
+        }
         let chunk = fabric.config().collective_chunk;
-        let key = CacheKey::Broadcast(algo, root, elems, chunk);
+        let key = CacheKey::Broadcast(algo, root_pos, group, elems, chunk);
         let mut mats = vec![mat];
         self.run(fabric, op, key, entries, elems, chunk, &mut mats)?;
         mat = mats.pop().expect("one matrix");

@@ -1,13 +1,18 @@
 //! `buildCommInfo`: partitioning, planning and table compilation.
 
+use std::sync::Arc;
+
 use dgcl_graph::CsrGraph;
 use dgcl_partition::hierarchical::hierarchical;
-use dgcl_partition::PartitionedGraph;
+use dgcl_partition::simple::block_partition;
+use dgcl_partition::{CagnetBlocks, PartitionedGraph};
 use dgcl_plan::plan::validate_plan;
 use dgcl_plan::{spst_plan, CommPlan, SendRecvTables};
+use dgcl_sim::{BackendChoice, BackendKind, BackendSelector};
 use dgcl_tensor::Matrix;
 use dgcl_topology::Topology;
 
+use crate::backend::BackendPolicy;
 use crate::error::RuntimeError;
 use crate::pipeline::{self, PipelineSchedule};
 use crate::schedule::DeviceSchedule;
@@ -27,6 +32,12 @@ pub struct BuildOptions {
     /// this are split into chunk-keyed messages that stream through
     /// relays; `usize::MAX` degenerates to one chunk per payload.
     pub chunk_rows: usize,
+    /// How the aggregation backend is chosen. The default pins the
+    /// paper's planned path; [`BackendPolicy::Auto`] lets the offline
+    /// [`BackendSelector`] take CAGNET when the priced cut is large
+    /// enough. Either way [`CommInfo::backend_choice`] records what the
+    /// selector would have picked.
+    pub backend: BackendPolicy,
 }
 
 impl Default for BuildOptions {
@@ -36,6 +47,7 @@ impl Default for BuildOptions {
             bytes_per_vertex: 4 * 256,
             non_atomic: true,
             chunk_rows: 64,
+            backend: BackendPolicy::Fixed(BackendKind::Planned),
         }
     }
 }
@@ -70,6 +82,13 @@ pub struct CommInfo {
     pub planning_seconds: f64,
     /// The cost model's estimate for one allgather in seconds.
     pub estimated_allgather_seconds: f64,
+    /// The aggregation backend every rank runs (the policy's verdict).
+    pub backend: BackendKind,
+    /// What the offline selector priced, whatever the policy decided.
+    pub backend_choice: BackendChoice,
+    /// Block-partitioned adjacency for the CAGNET backend (always
+    /// built; a planned run simply never reads it).
+    pub cagnet: Arc<CagnetBlocks>,
 }
 
 /// Partitions `graph` across the topology's GPUs (hierarchically when it
@@ -111,7 +130,51 @@ pub fn try_build_comm_info(
         let sizes: Vec<usize> = topology.gpus_by_machine().iter().map(|g| g.len()).collect();
         hierarchical(graph, &sizes, options.seed)
     };
-    let pg = PartitionedGraph::new(graph, partition, num_gpus);
+    let mut pg = PartitionedGraph::new(graph, partition, num_gpus);
+    // Price both aggregation backends on the partitioner's cut. The
+    // selector is offline and deterministic, so every rank reading this
+    // CommInfo agrees on the backend with no negotiation.
+    let demand_pairs: Vec<(usize, usize, u64)> = pg
+        .demands
+        .iter()
+        .enumerate()
+        .flat_map(|(i, row)| {
+            row.iter()
+                .enumerate()
+                .map(move |(j, vs)| (i, j, vs.len() as u64 * options.bytes_per_vertex))
+        })
+        .collect();
+    let backend_choice = BackendSelector::choose(
+        &topology,
+        num_gpus,
+        graph.num_vertices(),
+        options.bytes_per_vertex,
+        &demand_pairs,
+    );
+    let backend = match options.backend {
+        BackendPolicy::Auto => backend_choice.kind,
+        BackendPolicy::Fixed(kind) => kind,
+    };
+    let backend = match backend {
+        // A single device has nothing to communicate; block-partition
+        // bookkeeping would be pure overhead.
+        BackendKind::Cagnet { .. } if num_gpus < 2 => BackendKind::Planned,
+        BackendKind::Cagnet { replication } => {
+            assert!(
+                replication >= 1 && num_gpus.is_multiple_of(replication),
+                "CAGNET replication {replication} must divide {num_gpus} devices"
+            );
+            // CAGNET wants contiguous ascending ownership: it makes
+            // ascending-round accumulation equal the single-device fold
+            // bitwise, and balances the dense panels the broadcasts
+            // ship. The planned tables are rebuilt on the same
+            // partition so both backends remain callable on one info.
+            pg = PartitionedGraph::new(graph, block_partition(graph, num_gpus), num_gpus);
+            BackendKind::Cagnet { replication }
+        }
+        BackendKind::Planned => BackendKind::Planned,
+    };
+    let cagnet = Arc::new(CagnetBlocks::new(graph, &pg));
     let outcome = spst_plan(&pg, &topology, options.bytes_per_vertex, options.seed);
     validate_plan(&outcome.plan, &pg).expect("SPST must produce a valid plan");
     let forward_tables = SendRecvTables::from_plan(&outcome.plan);
@@ -155,6 +218,9 @@ pub fn try_build_comm_info(
         backward_pipelines,
         planning_seconds: outcome.planning_seconds,
         estimated_allgather_seconds: outcome.cost.total_time(),
+        backend,
+        backend_choice,
+        cagnet,
     })
 }
 

@@ -58,6 +58,7 @@
 //! assert!(diff < 1e-1 * single.epoch_losses[0].abs().max(1.0));
 //! ```
 
+pub mod backend;
 pub mod collectives;
 pub mod comm_info;
 pub mod error;
@@ -69,13 +70,15 @@ pub mod runtime;
 pub mod schedule;
 pub mod trainer;
 
+pub use backend::{backend_for, BackendPolicy, CagnetBackend, CommBackend, PlannedBackend};
 pub use collectives::{
-    AlgorithmSelector, AllreduceAlgo, AllreducePolicy, BroadcastAlgo, CollectiveEngine,
+    AlgorithmSelector, AllreduceAlgo, AllreducePolicy, BroadcastAlgo, CollectiveEngine, GroupSpec,
 };
 pub use comm_info::{build_comm_info, try_build_comm_info, BuildOptions, CommInfo};
+pub use dgcl_sim::{BackendChoice, BackendKind, BackendSelector};
 pub use error::{ClusterError, ClusterFailure, RuntimeError};
 pub use fabric::{Fabric, FabricConfig};
 pub use fault::{FaultEvent, FaultPlan};
 pub use overlap::{OverlapWorker, Pending};
 pub use pipeline::PipelineSchedule;
-pub use runtime::{run_cluster, run_cluster_with, DeviceHandle};
+pub use runtime::{run_cluster, run_cluster_with, DeviceHandle, ExecStrategy};

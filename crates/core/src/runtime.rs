@@ -16,7 +16,7 @@ use dgcl_partition::relation::LocalGraph;
 use dgcl_plan::tuples::SendRecvTables;
 use dgcl_tensor::Matrix;
 
-use crate::collectives::{AllreduceAlgo, BroadcastAlgo, CollectiveEngine};
+use crate::collectives::{AllreduceAlgo, BroadcastAlgo, CollectiveEngine, GroupSpec};
 use crate::comm_info::CommInfo;
 use crate::error::{ClusterError, ClusterFailure, RuntimeError};
 use crate::fabric::{expect_payload, Fabric, FabricConfig, MsgKey};
@@ -33,6 +33,26 @@ pub struct DeviceHandle<'a> {
     op_counter: Cell<u64>,
     scratch: RefCell<PipelineScratch>,
     engine: RefCell<CollectiveEngine>,
+}
+
+/// Which executor drives a planned gather / scatter. All three are
+/// bitwise-identical; they trade fidelity for speed:
+///
+/// * [`Pipelined`](ExecStrategy::Pipelined) — chunked streaming through
+///   relays, driven by the precompiled dependency list (the shipping
+///   path).
+/// * [`Barriered`](ExecStrategy::Barriered) — one message per (stage,
+///   substage, peer), blocking on an entire stage before forwarding.
+/// * [`Reference`](ExecStrategy::Reference) — uncompiled table walking
+///   that resolves every vertex id per operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecStrategy {
+    /// The chunk-pipelined executor (see [`crate::pipeline`]).
+    Pipelined,
+    /// The stage-barriered compiled executor.
+    Barriered,
+    /// The uncompiled table-walking reference.
+    Reference,
 }
 
 /// Per-(stage, substage) execution order of a device's table entries:
@@ -67,7 +87,7 @@ impl<'a> DeviceHandle<'a> {
     /// Enters the next collective: bumps the operation counter, fires any
     /// injected crash scheduled for this rank, refuses to start on a
     /// poisoned fabric, and publishes the ready flag.
-    fn begin_op(&self) -> Result<u64, RuntimeError> {
+    pub(crate) fn begin_op(&self) -> Result<u64, RuntimeError> {
         let op = self.op_counter.get() + 1;
         self.op_counter.set(op);
         if let Some(at_op) = self.fabric.config().faults.crash_at(self.rank) {
@@ -90,7 +110,10 @@ impl<'a> DeviceHandle<'a> {
     /// peers blocked on this rank unwind instead of waiting out their
     /// deadline. Poison-propagation errors pass through untouched (the
     /// origin already recorded itself).
-    fn poison_on_err<T>(&self, result: Result<T, RuntimeError>) -> Result<T, RuntimeError> {
+    pub(crate) fn poison_on_err<T>(
+        &self,
+        result: Result<T, RuntimeError>,
+    ) -> Result<T, RuntimeError> {
         if let Err(e) = &result {
             if !matches!(e, RuntimeError::Poisoned { .. }) {
                 self.fabric
@@ -126,7 +149,31 @@ impl<'a> DeviceHandle<'a> {
     /// Panics if `local` does not have exactly `num_local` rows (caller
     /// API misuse, not a cluster condition).
     pub fn graph_allgather(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
-        let r = self.graph_allgather_pipelined_inner(local);
+        self.graph_allgather_with(ExecStrategy::Pipelined, local)
+    }
+
+    /// [`DeviceHandle::graph_allgather`] with an explicit executor.
+    /// This is the single dispatch (and poison) point the three named
+    /// convenience methods delegate to.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; an error originated here also poisons the
+    /// fabric so peers unwind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` does not have exactly `num_local` rows.
+    pub fn graph_allgather_with(
+        &self,
+        strategy: ExecStrategy,
+        local: &Matrix,
+    ) -> Result<Matrix, RuntimeError> {
+        let r = match strategy {
+            ExecStrategy::Pipelined => self.graph_allgather_pipelined_inner(local),
+            ExecStrategy::Barriered => self.graph_allgather_barriered_inner(local),
+            ExecStrategy::Reference => self.graph_allgather_reference_inner(local),
+        };
         self.poison_on_err(r)
     }
 
@@ -161,8 +208,7 @@ impl<'a> DeviceHandle<'a> {
     ///
     /// Panics if `local` does not have exactly `num_local` rows.
     pub fn graph_allgather_barriered(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
-        let r = self.graph_allgather_barriered_inner(local);
-        self.poison_on_err(r)
+        self.graph_allgather_with(ExecStrategy::Barriered, local)
     }
 
     fn graph_allgather_barriered_inner(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
@@ -237,8 +283,7 @@ impl<'a> DeviceHandle<'a> {
     ///
     /// Panics if `local` does not have exactly `num_local` rows.
     pub fn graph_allgather_reference(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
-        let r = self.graph_allgather_reference_inner(local);
-        self.poison_on_err(r)
+        self.graph_allgather_with(ExecStrategy::Reference, local)
     }
 
     fn graph_allgather_reference_inner(&self, local: &Matrix) -> Result<Matrix, RuntimeError> {
@@ -319,7 +364,31 @@ impl<'a> DeviceHandle<'a> {
     ///
     /// Panics if `grad_full` does not have `num_total` rows.
     pub fn scatter_backward(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
-        let r = self.scatter_backward_pipelined_inner(grad_full);
+        self.scatter_backward_with(ExecStrategy::Pipelined, grad_full)
+    }
+
+    /// [`DeviceHandle::scatter_backward`] with an explicit executor —
+    /// the backward counterpart of
+    /// [`DeviceHandle::graph_allgather_with`], and likewise the single
+    /// dispatch (and poison) point.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; see [`DeviceHandle::graph_allgather`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_full` does not have `num_total` rows.
+    pub fn scatter_backward_with(
+        &self,
+        strategy: ExecStrategy,
+        grad_full: &Matrix,
+    ) -> Result<Matrix, RuntimeError> {
+        let r = match strategy {
+            ExecStrategy::Pipelined => self.scatter_backward_pipelined_inner(grad_full),
+            ExecStrategy::Barriered => self.scatter_backward_barriered_inner(grad_full),
+            ExecStrategy::Reference => self.scatter_backward_reference_inner(grad_full),
+        };
         self.poison_on_err(r)
     }
 
@@ -351,8 +420,7 @@ impl<'a> DeviceHandle<'a> {
     ///
     /// Panics if `grad_full` does not have `num_total` rows.
     pub fn scatter_backward_barriered(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
-        let r = self.scatter_backward_barriered_inner(grad_full);
-        self.poison_on_err(r)
+        self.scatter_backward_with(ExecStrategy::Barriered, grad_full)
     }
 
     fn scatter_backward_barriered_inner(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
@@ -431,8 +499,7 @@ impl<'a> DeviceHandle<'a> {
     ///
     /// Panics if `grad_full` does not have `num_total` rows.
     pub fn scatter_backward_reference(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
-        let r = self.scatter_backward_reference_inner(grad_full);
-        self.poison_on_err(r)
+        self.scatter_backward_with(ExecStrategy::Reference, grad_full)
     }
 
     fn scatter_backward_reference_inner(&self, grad_full: &Matrix) -> Result<Matrix, RuntimeError> {
@@ -564,6 +631,47 @@ impl<'a> DeviceHandle<'a> {
                 .borrow_mut()
                 .broadcast(&self.fabric, op, algo, root, mat)
         });
+        self.poison_on_err(r)
+    }
+
+    /// Broadcasts the matrix of the member at `root_pos` to every
+    /// member of `group` (see [`CollectiveEngine::broadcast_group`]).
+    /// Disjoint groups may run concurrently under the same op id; ranks
+    /// outside every group must call [`DeviceHandle::align_op`] so the
+    /// cluster-wide op counters stay in lockstep.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`]; see [`DeviceHandle::graph_allgather`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this rank is not a member of `group`.
+    pub fn broadcast_group(
+        &self,
+        algo: BroadcastAlgo,
+        group: GroupSpec,
+        root_pos: usize,
+        mat: Matrix,
+    ) -> Result<Matrix, RuntimeError> {
+        let r = self.begin_op().and_then(|op| {
+            self.engine
+                .borrow_mut()
+                .broadcast_group(&self.fabric, op, algo, group, root_pos, mat)
+        });
+        self.poison_on_err(r)
+    }
+
+    /// Bumps the op counter without communicating — the no-op a rank
+    /// issues when its peers run a collective it takes no part in, so
+    /// that a later cluster-wide collective finds every rank at the same
+    /// op id.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`] raised on entry (poison, injected crash).
+    pub fn align_op(&self) -> Result<(), RuntimeError> {
+        let r = self.begin_op().map(|_| ());
         self.poison_on_err(r)
     }
 

@@ -13,16 +13,19 @@
 //! reduction order, which [`train_distributed`] and [`train_single`] let
 //! tests verify directly.
 
+use dgcl_gnn::aggregate::{aggregate_mean, aggregate_sum};
 use dgcl_gnn::loss::mse_loss;
-use dgcl_gnn::{Architecture, GnnNetwork};
+use dgcl_gnn::{AggKind, Architecture, GnnNetwork};
 use dgcl_graph::CsrGraph;
+use dgcl_sim::BackendKind;
 use dgcl_tensor::Matrix;
 
+use crate::backend::{backend_for, CommBackend};
 use crate::collectives::{AlgorithmSelector, AllreduceAlgo, AllreducePolicy};
 use crate::comm_info::CommInfo;
 use crate::error::{ClusterError, RuntimeError};
 use crate::fabric::FabricConfig;
-use crate::runtime::run_cluster_with;
+use crate::runtime::{run_cluster_with, ExecStrategy};
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone)]
@@ -50,6 +53,12 @@ pub struct TrainConfig {
     /// bitwise identical to the rendezvous reference, so this only
     /// changes wall-clock, never numerics.
     pub allreduce: Option<AllreduceAlgo>,
+    /// Aggregation backend override. `None` (the default) runs whatever
+    /// [`CommInfo::backend`] recorded — the build policy's verdict;
+    /// `Some(kind)` forces a backend for this run (parity tests compare
+    /// the same info through both). CAGNET replication must divide the
+    /// device count.
+    pub backend: Option<BackendKind>,
 }
 
 impl TrainConfig {
@@ -64,6 +73,7 @@ impl TrainConfig {
             weight_seed: 17,
             overlap: true,
             allreduce: None,
+            backend: None,
         }
     }
 }
@@ -170,13 +180,39 @@ pub fn train_distributed_with(
     }
     assert_eq!(features.rows(), graph.num_vertices(), "feature rows");
     assert_eq!(targets.rows(), graph.num_vertices(), "target rows");
+    let backend_kind = cfg.backend.unwrap_or(info.backend);
+    if let BackendKind::Cagnet { replication } = backend_kind {
+        assert!(
+            replication >= 1 && info.num_devices().is_multiple_of(replication),
+            "CAGNET replication {replication} must divide {} devices",
+            info.num_devices()
+        );
+    }
+    // The eager next-epoch allgather only makes sense on the planned
+    // backend (CAGNET never runs the vertex-cut exchange).
+    let eager_gather = backend_kind == BackendKind::Planned;
     let per_device_features = info.dispatch_features(features);
     let per_device_targets = info.dispatch_features(targets);
     let results = run_cluster_with(info, fabric_config, |handle| {
         if cfg.overlap {
-            device_body_overlapped(&handle, cfg, &per_device_features, &per_device_targets)
+            let backend = backend_for(backend_kind, ExecStrategy::Pipelined);
+            device_body_overlapped(
+                &handle,
+                cfg,
+                backend.as_ref(),
+                eager_gather,
+                &per_device_features,
+                &per_device_targets,
+            )
         } else {
-            device_body_barriered(&handle, cfg, &per_device_features, &per_device_targets)
+            let backend = backend_for(backend_kind, ExecStrategy::Barriered);
+            device_body_barriered(
+                &handle,
+                cfg,
+                backend.as_ref(),
+                &per_device_features,
+                &per_device_targets,
+            )
         }
     })?;
     let losses = results[0].0.clone();
@@ -188,18 +224,32 @@ pub fn train_distributed_with(
     })
 }
 
+/// The gradient with respect to a layer's aggregate input combined with
+/// its direct (self-path) contribution: `backward_agg` splits the two,
+/// the backend folds remote consumers into the aggregate half, and the
+/// direct half lands on the local rows afterwards.
+fn fold_direct(mut grad_agg_back: Matrix, direct: Option<Matrix>) -> Matrix {
+    if let Some(direct) = direct {
+        for v in 0..grad_agg_back.rows() {
+            for (g, &x) in grad_agg_back.row_mut(v).iter_mut().zip(direct.row(v)) {
+                *g += x;
+            }
+        }
+    }
+    grad_agg_back
+}
+
 /// The serial reference schedule: barriered collectives, one monolithic
 /// allreduce per epoch. Communication and compute strictly alternate.
 fn device_body_barriered(
     handle: &crate::runtime::DeviceHandle<'_>,
     cfg: &TrainConfig,
+    backend: &dyn CommBackend,
     per_device_features: &[Matrix],
     per_device_targets: &[Matrix],
 ) -> Result<(Vec<f32>, Matrix), RuntimeError> {
     let rank = handle.rank;
-    let lg = handle.local_graph();
-    let adj = &lg.graph;
-    let num_local = lg.num_local;
+    let agg_kind = cfg.arch.agg_kind();
     let mut net = GnnNetwork::new(cfg.arch, &cfg.dims, cfg.weight_seed);
     let mut losses = Vec::with_capacity(cfg.epochs);
     let forward = |net: &mut GnnNetwork,
@@ -207,20 +257,21 @@ fn device_body_barriered(
      -> Result<Matrix, RuntimeError> {
         let mut h = per_device_features[rank].clone();
         for layer in net.layers_mut() {
-            let full = handle.graph_allgather_barriered(&h)?;
-            h = layer.forward(adj, &full, num_local);
+            let agg = backend.agg_forward(handle, &h, agg_kind)?;
+            h = layer.forward_agg(&h, agg);
         }
         Ok(h)
     };
     for _ in 0..cfg.epochs {
         let out = forward(&mut net, handle)?;
         let (local_loss, grad_out) = mse_loss(&out, &per_device_targets[rank]);
-        // Backward through the layers, scattering remote gradients
-        // back after each layer.
+        // Backward through the layers, routing each layer's aggregate
+        // gradient through the backend's adjoint exchange.
         let mut grad = grad_out;
         for layer in net.layers_mut().iter_mut().rev() {
-            let grad_full = layer.backward(adj, &grad);
-            grad = handle.scatter_backward_barriered(&grad_full)?;
+            let (grad_agg, direct) = layer.backward_agg(&grad);
+            let back = backend.agg_backward(handle, &grad_agg, agg_kind)?;
+            grad = fold_direct(back, direct);
         }
         // Allreduce: parameter gradients plus the scalar loss.
         let mut mats: Vec<Matrix> = net
@@ -246,9 +297,11 @@ fn device_body_barriered(
 
 /// The overlapped schedule: pipelined collectives, per-layer gradient
 /// buckets launched on a background worker as soon as each layer's
-/// backward completes, and the next epoch's first allgather (whose input
-/// — the raw features — never changes) posted eagerly while gradients
-/// drain and the weights step.
+/// backward completes, and — on the planned backend — the next epoch's
+/// first allgather (whose input, the raw features, never changes)
+/// posted eagerly while gradients drain and the weights step. The
+/// CAGNET backend interleaves its broadcasts with SpMM on the calling
+/// thread, so only the gradient buckets overlap there.
 ///
 /// Bitwise identical to [`device_body_barriered`]: buckets keep a fixed
 /// submission order, the fabric sums each matrix in rank order
@@ -258,6 +311,8 @@ fn device_body_barriered(
 fn device_body_overlapped(
     handle: &crate::runtime::DeviceHandle<'_>,
     cfg: &TrainConfig,
+    backend: &dyn CommBackend,
+    eager_gather: bool,
     per_device_features: &[Matrix],
     per_device_targets: &[Matrix],
 ) -> Result<(Vec<f32>, Matrix), RuntimeError> {
@@ -265,26 +320,46 @@ fn device_body_overlapped(
     let lg = handle.local_graph();
     let adj = &lg.graph;
     let num_local = lg.num_local;
+    let agg_kind = cfg.arch.agg_kind();
     let mut net = GnnNetwork::new(cfg.arch, &cfg.dims, cfg.weight_seed);
     let num_layers = net.num_layers();
     let mut losses = Vec::with_capacity(cfg.epochs);
     let worker = handle.overlap_worker();
     let forward = |net: &mut GnnNetwork,
                    handle: &crate::runtime::DeviceHandle<'_>,
-                   first: crate::overlap::Pending<Matrix>|
+                   first: Option<crate::overlap::Pending<Matrix>>|
      -> Result<Matrix, RuntimeError> {
         let mut h = per_device_features[rank].clone();
-        let mut first = Some(first);
+        let mut first = first;
         for layer in net.layers_mut() {
-            let full = match first.take() {
-                Some(p) => handle.wait_pending(p)?,
-                None => handle.graph_allgather(&h)?,
+            let agg = match first.take() {
+                // The eagerly posted allgather runs the same pipelined
+                // executor the planned backend would invoke here.
+                Some(p) => {
+                    let full = handle.wait_pending(p)?;
+                    match agg_kind {
+                        AggKind::Sum => aggregate_sum(adj, &full, num_local),
+                        AggKind::Mean => aggregate_mean(adj, &full, num_local),
+                    }
+                }
+                None => backend.agg_forward(handle, &h, agg_kind)?,
             };
-            h = layer.forward(adj, &full, num_local);
+            h = layer.forward_agg(&h, agg);
         }
         Ok(h)
     };
-    let mut next_gather = handle.submit_allgather(&worker, per_device_features[rank].clone())?;
+    let submit_eager = |handle: &crate::runtime::DeviceHandle<'_>|
+     -> Result<Option<crate::overlap::Pending<Matrix>>, RuntimeError> {
+        if eager_gather {
+            Ok(Some(handle.submit_allgather(
+                &worker,
+                per_device_features[rank].clone(),
+            )?))
+        } else {
+            Ok(None)
+        }
+    };
+    let mut next_gather = submit_eager(handle)?;
     for _ in 0..cfg.epochs {
         let out = forward(&mut net, handle, next_gather)?;
         let (local_loss, grad_out) = mse_loss(&out, &per_device_targets[rank]);
@@ -294,13 +369,14 @@ fn device_body_overlapped(
         // reduces while the next layer's backward computes.
         let mut grad = grad_out;
         for layer in net.layers_mut().iter_mut().rev() {
-            let grad_full = layer.backward(adj, &grad);
-            grad = handle.scatter_backward(&grad_full)?;
+            let (grad_agg, direct) = layer.backward_agg(&grad);
+            let back = backend.agg_backward(handle, &grad_agg, agg_kind)?;
+            grad = fold_direct(back, direct);
             let mats: Vec<Matrix> = layer.gradients().into_iter().cloned().collect();
             buckets.push(handle.submit_allreduce(&worker, mats)?);
         }
         // Next epoch's first exchange streams while gradients drain.
-        next_gather = handle.submit_allgather(&worker, per_device_features[rank].clone())?;
+        next_gather = submit_eager(handle)?;
         let mut buckets = buckets.into_iter();
         let loss = handle.wait_pending(buckets.next().expect("loss bucket"))?;
         losses.push(loss[0][(0, 0)]);

@@ -31,6 +31,25 @@ impl Architecture {
             Architecture::Sage => "GraphSAGE",
         }
     }
+
+    /// The neighbourhood aggregation this architecture uses.
+    pub fn agg_kind(self) -> AggKind {
+        match self {
+            Architecture::Gin => AggKind::Sum,
+            _ => AggKind::Mean,
+        }
+    }
+}
+
+/// The aggregation operator a layer applies over its neighbourhood —
+/// what a communication backend must compute on the layer's behalf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// `a_v = Σ_{u ∈ N(v)} h_u`.
+    Sum,
+    /// `a_v = (Σ_{u ∈ N(v)} h_u) / max(deg(v), 1)`; isolated vertices
+    /// get zeros.
+    Mean,
 }
 
 /// One GNN layer of any architecture, holding parameters, parameter
@@ -49,8 +68,10 @@ pub struct Layer {
 
 #[derive(Debug, Clone)]
 struct Cache {
-    /// Full visible input (local + remote rows).
-    input: Matrix,
+    /// Row count of the full visible input the forward pass consumed
+    /// (local + remote). The combined [`Layer::backward`] sizes its
+    /// gradient output by this; the split path never reads it.
+    num_total: usize,
     /// Aggregated neighbourhood (local rows).
     agg: Matrix,
     /// Per-architecture intermediates.
@@ -205,7 +226,70 @@ impl Layer {
             }
         };
         self.cache = Some(Cache {
-            input: h.clone(),
+            num_total: h.rows(),
+            agg,
+            mids,
+            output: output.clone(),
+            num_local,
+        });
+        output
+    }
+
+    /// Forward pass with the aggregation already computed — the update
+    /// half of the layer, used by the distributed backends (which own
+    /// the communication that produces `agg`).
+    ///
+    /// `h_local` holds only the device's own rows; `agg` is the
+    /// corresponding aggregated neighbourhood (see
+    /// [`Architecture::agg_kind`]). Caches everything
+    /// [`Layer::backward_agg`] needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths mismatch or `agg` has a different row count
+    /// than `h_local`.
+    pub fn forward_agg(&mut self, h_local: &Matrix, agg: Matrix) -> Matrix {
+        assert_eq!(h_local.cols(), self.fin, "input width mismatch");
+        assert_eq!(agg.cols(), self.fin, "aggregation width mismatch");
+        assert_eq!(agg.rows(), h_local.rows(), "aggregation row mismatch");
+        let num_local = h_local.rows();
+        let (mids, output) = match self.arch {
+            Architecture::Gcn => {
+                let z = agg
+                    .matmul(&self.weights[0])
+                    .add_row_broadcast(&self.biases[0]);
+                (vec![], Activation::Relu.forward(&z))
+            }
+            Architecture::CommNet => {
+                let z = h_local
+                    .matmul(&self.weights[0])
+                    .add(&agg.matmul(&self.weights[1]))
+                    .add_row_broadcast(&self.biases[0]);
+                (vec![h_local.clone()], Activation::Tanh.forward(&z))
+            }
+            Architecture::Gin => {
+                let mut s = h_local.clone();
+                s.scale_assign(1.0 + GIN_EPS);
+                s.add_assign(&agg);
+                let z1 = s
+                    .matmul(&self.weights[0])
+                    .add_row_broadcast(&self.biases[0]);
+                let r = Activation::Relu.forward(&z1);
+                let out = r
+                    .matmul(&self.weights[1])
+                    .add_row_broadcast(&self.biases[1]);
+                (vec![s, r], out)
+            }
+            Architecture::Sage => {
+                let s = h_local.hstack(&agg);
+                let z = s
+                    .matmul(&self.weights[0])
+                    .add_row_broadcast(&self.biases[0]);
+                (vec![s], Activation::Relu.forward(&z))
+            }
+        };
+        self.cache = Some(Cache {
+            num_total: num_local,
             agg,
             mids,
             output: output.clone(),
@@ -226,20 +310,48 @@ impl Layer {
     /// gradient shape.
     pub fn backward(&mut self, adj: &CsrGraph, grad_out: &Matrix) -> Matrix {
         let cache = self.cache.as_ref().expect("forward before backward");
+        let num_total = cache.num_total;
+        let num_local = cache.num_local;
+        let (grad_agg, direct) = self.backward_agg(grad_out);
+        let mut grad_h = match self.arch.agg_kind() {
+            AggKind::Sum => aggregate_sum_backward(adj, &grad_agg, num_total),
+            AggKind::Mean => aggregate_mean_backward(adj, &grad_agg, num_total),
+        };
+        if let Some(direct) = direct {
+            for v in 0..num_local {
+                for (g, &x) in grad_h.row_mut(v).iter_mut().zip(direct.row(v)) {
+                    *g += x;
+                }
+            }
+        }
+        grad_h
+    }
+
+    /// Backward pass up to (but not through) the aggregation: accumulates
+    /// parameter gradients and returns `(grad_agg, direct)` where
+    /// `grad_agg` is the gradient with respect to the aggregated
+    /// neighbourhood (local rows — the backend scatters it through the
+    /// adjacency transpose) and `direct` is the architecture's skip-path
+    /// gradient to add onto the device's own rows afterwards (`None` for
+    /// GCN, which has no skip path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a forward pass or with a mismatched
+    /// gradient shape.
+    pub fn backward_agg(&mut self, grad_out: &Matrix) -> (Matrix, Option<Matrix>) {
+        let cache = self.cache.as_ref().expect("forward before backward");
         assert_eq!(
             grad_out.shape(),
             cache.output.shape(),
             "output gradient shape mismatch"
         );
-        let num_total = cache.input.rows();
-        let num_local = cache.num_local;
         match self.arch {
             Architecture::Gcn => {
                 let grad_z = Activation::Relu.backward(&cache.output, grad_out);
                 self.grad_weights[0].add_assign(&cache.agg.matmul_tn(&grad_z));
                 self.grad_biases[0].add_assign(&grad_z.sum_rows());
-                let grad_agg = grad_z.matmul_nt(&self.weights[0]);
-                aggregate_mean_backward(adj, &grad_agg, num_total)
+                (grad_z.matmul_nt(&self.weights[0]), None)
             }
             Architecture::CommNet => {
                 let grad_z = Activation::Tanh.backward(&cache.output, grad_out);
@@ -248,14 +360,8 @@ impl Layer {
                 self.grad_weights[1].add_assign(&cache.agg.matmul_tn(&grad_z));
                 self.grad_biases[0].add_assign(&grad_z.sum_rows());
                 let grad_agg = grad_z.matmul_nt(&self.weights[1]);
-                let mut grad_h = aggregate_mean_backward(adj, &grad_agg, num_total);
                 let grad_local = grad_z.matmul_nt(&self.weights[0]);
-                for v in 0..num_local {
-                    for (g, &x) in grad_h.row_mut(v).iter_mut().zip(grad_local.row(v)) {
-                        *g += x;
-                    }
-                }
-                grad_h
+                (grad_agg, Some(grad_local))
             }
             Architecture::Gin => {
                 let s = &cache.mids[0];
@@ -268,13 +374,8 @@ impl Layer {
                 self.grad_weights[0].add_assign(&s.matmul_tn(&grad_z1));
                 self.grad_biases[0].add_assign(&grad_z1.sum_rows());
                 let grad_s = grad_z1.matmul_nt(&self.weights[0]);
-                let mut grad_h = aggregate_sum_backward(adj, &grad_s, num_total);
-                for v in 0..num_local {
-                    for (g, &x) in grad_h.row_mut(v).iter_mut().zip(grad_s.row(v)) {
-                        *g += x * (1.0 + GIN_EPS);
-                    }
-                }
-                grad_h
+                let direct = grad_s.scale(1.0 + GIN_EPS);
+                (grad_s, Some(direct))
             }
             Architecture::Sage => {
                 let s = &cache.mids[0];
@@ -283,13 +384,7 @@ impl Layer {
                 self.grad_biases[0].add_assign(&grad_z.sum_rows());
                 let grad_s = grad_z.matmul_nt(&self.weights[0]);
                 let (grad_local, grad_agg) = grad_s.split_cols(self.fin);
-                let mut grad_h = aggregate_mean_backward(adj, &grad_agg, num_total);
-                for v in 0..num_local {
-                    for (g, &x) in grad_h.row_mut(v).iter_mut().zip(grad_local.row(v)) {
-                        *g += x;
-                    }
-                }
-                grad_h
+                (grad_agg, Some(grad_local))
             }
         }
     }

@@ -24,5 +24,5 @@ pub mod layers;
 pub mod loss;
 pub mod model;
 
-pub use layers::{Architecture, Layer};
+pub use layers::{AggKind, Architecture, Layer};
 pub use model::GnnNetwork;

@@ -1,0 +1,200 @@
+//! Block-partitioned adjacency for the CAGNET aggregation backend.
+//!
+//! CAGNET's 1D/1.5D algorithms (Tripathy et al., PAPERS.md) never build
+//! the vertex-cut communication relation: they partition the adjacency
+//! matrix into row blocks and drive aggregation as broadcasts of dense
+//! feature blocks interleaved with local SpMM. This module precomputes
+//! the sparse blocks every device needs.
+//!
+//! Everything is stored at *thin* granularity — one [`CsrBlock`] per
+//! `(owner, column-part)` pair. The 1.5D algorithm's *fat* (replicated)
+//! blocks are unions of consecutive thin blocks, so a single
+//! [`CagnetBlocks`] serves every replication factor: a fat row panel is
+//! the stacked thin blocks of the grid-row mates, and a fat column block
+//! is a run of consecutive thin column blocks.
+//!
+//! When ownership is contiguous ascending (see
+//! [`crate::simple::block_partition`]), each block's rows keep their
+//! columns in ascending *global* order and ascending thin-block order ==
+//! ascending global column order — which is what lets the backend's
+//! block-by-block accumulation reproduce the single-device aggregation
+//! fold bitwise.
+
+use dgcl_graph::{CsrGraph, VertexId};
+use dgcl_tensor::CsrBlock;
+
+use crate::relation::PartitionedGraph;
+
+/// Per-device sparse adjacency blocks for CAGNET-style aggregation.
+#[derive(Debug, Clone)]
+pub struct CagnetBlocks {
+    num_parts: usize,
+    /// `blocks[d][t]`: rows owned by `d`, columns owned by `t`, from the
+    /// forward adjacency. Column ids are positions in `t`'s owned list.
+    blocks: Vec<Vec<CsrBlock>>,
+    /// Same layout over the reversed adjacency (for backward scatter).
+    tblocks: Vec<Vec<CsrBlock>>,
+    /// `degrees[d][i]`: global out-degree of `d`'s `i`-th owned vertex
+    /// (what mean aggregation normalizes by).
+    degrees: Vec<Vec<u32>>,
+}
+
+impl CagnetBlocks {
+    /// Builds the thin block grid for `graph` under `pg`'s ownership.
+    ///
+    /// Works for any partition; the bitwise-parity guarantee additionally
+    /// requires contiguous ascending ownership (block partitions).
+    pub fn new(graph: &CsrGraph, pg: &PartitionedGraph) -> Self {
+        let num_parts = pg.num_parts;
+        // Global id -> (owner part, position within the owner's list).
+        let mut place = vec![(0u32, 0u32); graph.num_vertices()];
+        for (t, owned) in pg.local.iter().enumerate() {
+            for (pos, &v) in owned.iter().enumerate() {
+                place[v as usize] = (t as u32, pos as u32);
+            }
+        }
+        let blocks = split_rows(graph, &pg.local, &place, num_parts);
+        let tblocks = split_rows(graph.reversed(), &pg.local, &place, num_parts);
+        let degrees = pg
+            .local
+            .iter()
+            .map(|owned| owned.iter().map(|&v| graph.out_degree(v) as u32).collect())
+            .collect();
+        CagnetBlocks {
+            num_parts,
+            blocks,
+            tblocks,
+            degrees,
+        }
+    }
+
+    /// Number of parts (thin blocks per axis).
+    pub fn num_parts(&self) -> usize {
+        self.num_parts
+    }
+
+    /// Forward-adjacency block: rows owned by `d`, columns owned by `t`.
+    pub fn block(&self, d: usize, t: usize) -> &CsrBlock {
+        &self.blocks[d][t]
+    }
+
+    /// Reversed-adjacency block: rows owned by `d`, columns owned by `t`.
+    pub fn tblock(&self, d: usize, t: usize) -> &CsrBlock {
+        &self.tblocks[d][t]
+    }
+
+    /// Global out-degrees of `d`'s owned vertices, in owned order.
+    pub fn degrees(&self, d: usize) -> &[u32] {
+        &self.degrees[d]
+    }
+}
+
+/// Splits `graph`'s rows, restricted to each part's owned vertices, into
+/// one thin block per column part. Row order follows the owned lists;
+/// column order within a row follows the graph's neighbour order (ascending
+/// global in this repo — `GraphBuilder::finish` sorts edges).
+fn split_rows(
+    graph: &CsrGraph,
+    owned: &[Vec<VertexId>],
+    place: &[(u32, u32)],
+    num_parts: usize,
+) -> Vec<Vec<CsrBlock>> {
+    owned
+        .iter()
+        .map(|rows| {
+            let mut per_part: Vec<Vec<Vec<u32>>> = vec![Vec::with_capacity(rows.len()); num_parts];
+            for &v in rows {
+                for part in per_part.iter_mut() {
+                    part.push(Vec::new());
+                }
+                for &u in graph.neighbors(v) {
+                    let (t, pos) = place[u as usize];
+                    let lists = &mut per_part[t as usize];
+                    lists.last_mut().expect("row pushed above").push(pos);
+                }
+            }
+            per_part
+                .into_iter()
+                .enumerate()
+                .map(|(t, row_lists)| CsrBlock::from_rows(owned[t].len(), &row_lists))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::block_partition;
+    use dgcl_graph::generators::erdos_renyi;
+    use dgcl_graph::GraphBuilder;
+
+    fn blocks_for(graph: &CsrGraph, parts: usize) -> (PartitionedGraph, CagnetBlocks) {
+        let partition = block_partition(graph, parts);
+        let pg = PartitionedGraph::new(graph, partition, parts);
+        let cb = CagnetBlocks::new(graph, &pg);
+        (pg, cb)
+    }
+
+    /// Every edge (v, u) lands in exactly one forward block, at the row
+    /// of v's owned position and the column of u's owned position — and
+    /// the reversed edge in exactly one tblock.
+    #[test]
+    fn blocks_tile_the_adjacency() {
+        let graph = erdos_renyi(37, 140, 7);
+        for parts in [1usize, 2, 3, 4] {
+            let (pg, cb) = blocks_for(&graph, parts);
+            let mut fwd = 0usize;
+            let mut bwd = 0usize;
+            for d in 0..parts {
+                for t in 0..parts {
+                    fwd += cb.block(d, t).nnz();
+                    bwd += cb.tblock(d, t).nnz();
+                    for (r, &v) in pg.local[d].iter().enumerate() {
+                        let row = cb.block(d, t).row(r);
+                        for &c in row {
+                            let u = pg.local[t][c as usize];
+                            assert!(graph.neighbors(v).contains(&u));
+                        }
+                        // Ascending-global within a row under block
+                        // ownership (owned lists are ascending ranges).
+                        assert!(row.windows(2).all(|w| w[0] < w[1]), "parts {parts}");
+                    }
+                }
+            }
+            assert_eq!(fwd, graph.num_edges(), "parts {parts}");
+            assert_eq!(bwd, graph.num_edges(), "parts {parts}");
+        }
+    }
+
+    #[test]
+    fn degrees_match_the_global_graph() {
+        let graph = erdos_renyi(20, 60, 3);
+        let (pg, cb) = blocks_for(&graph, 3);
+        for d in 0..3 {
+            for (i, &v) in pg.local[d].iter().enumerate() {
+                assert_eq!(cb.degrees(d)[i] as usize, graph.out_degree(v));
+            }
+        }
+    }
+
+    #[test]
+    fn tblocks_are_the_transpose() {
+        let mut b = GraphBuilder::new(6);
+        // Directed: 0->3, 0->5, 2->4, 4->1.
+        for &(s, d) in &[(0u32, 3u32), (0, 5), (2, 4), (4, 1)] {
+            b.add_edge(s, d);
+        }
+        let graph = b.build_directed();
+        let (pg, cb) = blocks_for(&graph, 2);
+        // Edge 0->3: forward block (owner(0)=0, owner(3)=1); transpose
+        // block (owner(3)=1, owner(0)=0) holds (3, 0).
+        let pos = |d: usize, v: u32| pg.local[d].iter().position(|&x| x == v).unwrap();
+        assert_eq!(
+            cb.block(0, 1).row(pos(0, 0)),
+            &[pos(1, 3) as u32, pos(1, 5) as u32]
+        );
+        assert_eq!(cb.tblock(1, 0).row(pos(1, 3)), &[pos(0, 0) as u32]);
+        assert_eq!(cb.tblock(0, 1).row(pos(0, 1)), &[pos(1, 4) as u32]);
+    }
+}

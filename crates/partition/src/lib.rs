@@ -29,12 +29,14 @@
 //! assert!(edge_cut(&g, &parts) < g.num_edges() / 2);
 //! ```
 
+pub mod cagnet;
 pub mod hierarchical;
 pub mod metrics;
 pub mod multilevel;
 pub mod relation;
 pub mod simple;
 
+pub use cagnet::CagnetBlocks;
 pub use relation::{DemandClass, PartitionedGraph};
 
 /// A partition assignment: `partition[v]` is the part (GPU rank) of vertex

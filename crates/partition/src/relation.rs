@@ -246,8 +246,12 @@ fn build_local_graph(graph: &CsrGraph, local: &[VertexId], remote: &[VertexId]) 
     offsets.push(0usize);
     let mut targets = Vec::new();
     for &v in local {
-        let mut row: Vec<u32> = graph.neighbors(v).iter().map(|&u| lookup(u)).collect();
-        row.sort_unstable();
+        // Keep each row in the global graph's (ascending global id)
+        // neighbour order rather than sorting the mapped local ids: the
+        // aggregation kernels fold each row sequentially, so this makes
+        // local aggregation accumulate in exactly the single-device
+        // order — bitwise parity instead of a mere commutation.
+        let row: Vec<u32> = graph.neighbors(v).iter().map(|&u| lookup(u)).collect();
         targets.extend_from_slice(&row);
         offsets.push(targets.len());
     }

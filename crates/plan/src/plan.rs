@@ -159,6 +159,18 @@ pub enum PlanError {
         /// The offending rank.
         rank: usize,
     },
+    /// A GPU receives a vertex it already holds. The forward executor
+    /// would tolerate the duplicate write, but the reversed scatter
+    /// folds the revisited GPU's accumulator into the chain twice and
+    /// double-counts gradients — a plan must be a tree, not a walk.
+    DuplicateDelivery {
+        /// The vertex delivered twice.
+        vertex: VertexId,
+        /// The GPU receiving it again.
+        dst: usize,
+        /// The stage of the duplicate delivery.
+        stage: usize,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -172,6 +184,10 @@ impl std::fmt::Display for PlanError {
                 write!(f, "GPU {dst} never receives vertex {vertex}")
             }
             PlanError::BadRank { rank } => write!(f, "GPU rank {rank} out of range"),
+            PlanError::DuplicateDelivery { vertex, dst, stage } => write!(
+                f,
+                "GPU {dst} receives vertex {vertex} again at stage {stage}"
+            ),
         }
     }
 }
@@ -183,6 +199,8 @@ impl std::error::Error for PlanError {}
 ///
 /// * a GPU may only forward embeddings it owns or has already received in
 ///   an earlier stage (tree edges at depth `k` run at stage `k`);
+/// * no GPU receives a vertex twice — each per-vertex route must be a
+///   tree, or the reversed gradient scatter double-counts;
 /// * after the final stage, every demand `V_ij` must be satisfied.
 pub fn validate_plan(plan: &CommPlan, pg: &PartitionedGraph) -> Result<(), PlanError> {
     let num_gpus = pg.num_parts;
@@ -213,7 +231,13 @@ pub fn validate_plan(plan: &CommPlan, pg: &PartitionedGraph) -> Result<(), PlanE
             }
         }
         for (dst, v) in received {
-            holds[dst].insert(v);
+            if !holds[dst].insert(v) {
+                return Err(PlanError::DuplicateDelivery {
+                    vertex: v,
+                    dst,
+                    stage,
+                });
+            }
         }
     }
     for (j, remotes) in pg.remote.iter().enumerate() {

@@ -566,11 +566,37 @@ fn plan_tree(
             }
         }
         path.reverse();
+        // The layered search may route through the same GPU at two
+        // different depths: a detour that parks the payload until a
+        // later, emptier stage is the model's only way to express
+        // "wait here". That is a walk, not a tree — the forward
+        // executor tolerates the duplicate delivery (the same row is
+        // written twice), but the reversed scatter folds the revisited
+        // GPU's accumulator into the chain at both visits and
+        // double-counts every gradient behind it. Contract each cycle
+        // (keep the first visit, drop the loop) but keep every node's
+        // searched depth: each surviving edge is committed at the
+        // stage the search priced it (`child depth - 1`), so the
+        // contracted tree costs exactly what the search modelled minus
+        // the dropped loop edges. A GPU delivered at stage `d` simply
+        // holds the rows and forwards them at a later stage.
+        let mut kept = 0usize;
+        for r in 0..path.len() {
+            let g = path[r].0;
+            if let Some(first) = path[..kept].iter().position(|&(pg, _)| pg == g) {
+                kept = first + 1;
+            } else {
+                path[kept] = path[r];
+                kept += 1;
+            }
+        }
+        path.truncate(kept);
         for pair in path.windows(2) {
-            let (parent_gpu, parent_depth) = pair[0];
-            let (child_gpu, _child_depth) = pair[1];
+            let (parent_gpu, _parent_depth) = pair[0];
+            let (child_gpu, child_depth) = pair[1];
+            let stage = child_depth - 1;
             realised += cost.add_logged(
-                parent_depth,
+                stage,
                 topology.route(parent_gpu, child_gpu),
                 bytes_per_vertex,
                 log,
@@ -578,7 +604,7 @@ fn plan_tree(
             tree.push(TreeEdge {
                 src: parent_gpu as u32,
                 dst: child_gpu as u32,
-                stage: parent_depth as u32,
+                stage: stage as u32,
             });
         }
         for &(g, d) in path.iter() {
@@ -1202,6 +1228,31 @@ mod tests {
             shuffled.cost.total_time(),
             by_id.cost.total_time()
         );
+    }
+
+    #[test]
+    fn plans_are_trees_not_walks() {
+        // Regression: the layered search used to route a path through
+        // the same GPU at two depths when the detour hid under emptier
+        // stage maxima (seen on block partitions of sparse ER graphs on
+        // a flat PCIe host). `validate_plan` now rejects duplicate
+        // deliveries, so validity alone certifies the tree invariant.
+        use dgcl_graph::generators::erdos_renyi;
+        use dgcl_partition::simple::block_partition;
+        for devices in [4usize, 8] {
+            for seed in [9u64, 108, 171] {
+                let graph = erdos_renyi(39 + devices, 150, seed);
+                let topo = dgcl_topology::Topology::pcie_host(devices);
+                let parts = block_partition(&graph, devices);
+                let pg = PartitionedGraph::new(&graph, parts, devices);
+                let out = spst_plan(&pg, &topo, 1024, 42);
+                assert!(
+                    validate_plan(&out.plan, &pg).is_ok(),
+                    "p={devices} seed={seed}: {:?}",
+                    validate_plan(&out.plan, &pg)
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Cost models and the offline selector for the aggregation
+//! *communication backends*.
+//!
+//! The runtime ships two ways to compute distributed GNN aggregation:
+//!
+//! * **Planned** — the paper's SPST-planned gather/scatter. Volume is
+//!   proportional to the vertex cut, so it wins when the partitioner
+//!   finds real structure (community graphs).
+//! * **CAGNET** — 1D/1.5D block-partitioned SpMM (Tripathy et al.),
+//!   broadcasting dense feature blocks. Per-device receive volume is
+//!   `O(n·f/c)` regardless of the cut, so it wins when the cut is so
+//!   large that the planned relation approaches a full allgather.
+//!
+//! [`BackendSelector::choose`] prices both on the fluid-flow network
+//! model and picks per graph. Like
+//! [`AlgorithmSelector`](crate::AlgorithmSelector), it is deterministic
+//! and offline: every rank that evaluates the same topology and demand
+//! summary picks the same backend, with no negotiation round.
+
+use dgcl_topology::Topology;
+
+use crate::collectives::episode;
+use crate::transport::stage_barrier_seconds;
+
+/// Which communication backend executes a layer's aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// SPST-planned vertex-cut gather/scatter.
+    Planned,
+    /// CAGNET block SpMM with `replication`-way replicated rows
+    /// (`replication == 1` is the 1D algorithm, `> 1` the 1.5D one).
+    Cagnet {
+        /// Replication factor `c`; must divide the device count.
+        replication: usize,
+    },
+}
+
+impl BackendKind {
+    /// Stable name for tables and JSON (`planned`, `cagnet-1d`,
+    /// `cagnet-1.5d/c2`, …).
+    pub fn label(self) -> String {
+        match self {
+            BackendKind::Planned => "planned".to_string(),
+            BackendKind::Cagnet { replication: 1 } => "cagnet-1d".to_string(),
+            BackendKind::Cagnet { replication } => format!("cagnet-1.5d/c{replication}"),
+        }
+    }
+}
+
+/// The verdict of [`BackendSelector::choose`], with the priced
+/// alternatives kept for reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendChoice {
+    /// The cheapest backend.
+    pub kind: BackendKind,
+    /// Predicted per-layer gather cost of the planned backend.
+    pub planned_seconds: f64,
+    /// Predicted per-layer cost of every CAGNET candidate, as
+    /// `(replication, seconds)` with replication ascending.
+    pub cagnet: Vec<(usize, f64)>,
+}
+
+impl BackendChoice {
+    /// The predicted cost of the chosen backend.
+    pub fn chosen_seconds(&self) -> f64 {
+        match self.kind {
+            BackendKind::Planned => self.planned_seconds,
+            BackendKind::Cagnet { replication } => self
+                .cagnet
+                .iter()
+                .find(|&&(c, _)| c == replication)
+                .map(|&(_, s)| s)
+                .unwrap_or(f64::INFINITY),
+        }
+    }
+}
+
+/// Predicted per-layer cost of the planned gather: all cross-device
+/// demand flows released together under max-min fair sharing, plus the
+/// closing barrier. `demand_pairs` is `(src, dst, bytes)` — the
+/// communication relation `|V_ij| · bytes_per_vertex`.
+pub fn planned_gather_cost(topology: &Topology, demand_pairs: &[(usize, usize, u64)]) -> f64 {
+    episode(topology, demand_pairs, false) + stage_barrier_seconds()
+}
+
+/// First-`rem`-one-longer block sizes: the owned-row count of thin block
+/// `t` when `n` rows are block-partitioned over `parts`.
+fn thin_rows(n: usize, parts: usize, t: usize) -> usize {
+    n / parts + usize::from(t < n % parts)
+}
+
+/// Predicted per-layer cost of CAGNET aggregation over GPUs
+/// `0..devices` with replication `c`: the broadcast waves (every grid
+/// column concurrently), and for `c > 1` the fat-row assembly, the
+/// chain combine and the thin return. Each phase is one cold flow
+/// episode plus the stage barrier.
+///
+/// # Panics
+///
+/// Panics if `c` does not divide `devices`.
+pub fn cagnet_aggregate_cost(
+    topology: &Topology,
+    devices: usize,
+    c: usize,
+    n_rows: usize,
+    bytes_per_row: u64,
+) -> f64 {
+    assert!(
+        c >= 1 && devices.is_multiple_of(c),
+        "replication must divide devices"
+    );
+    let p = devices;
+    if p < 2 {
+        return 0.0;
+    }
+    let r = p / c; // grid rows == fat blocks == broadcast rounds total
+    let thin = |t: usize| thin_rows(n_rows, p, t) as u64 * bytes_per_row;
+    let fat = |f: usize| -> u64 { (f * c..(f + 1) * c).map(thin).sum() };
+    let mut total = 0.0;
+    let mut ops = 0u64;
+    // Assembly: c rounds; in round j the rank at column j of every fat
+    // row flat-broadcasts its thin block to its c−1 grid-row mates.
+    if c > 1 {
+        for j in 0..c {
+            let flows: Vec<(usize, usize, u64)> = (0..r)
+                .flat_map(|f| {
+                    let root = f * c + j;
+                    (f * c..(f + 1) * c)
+                        .filter(move |&m| m != root)
+                        .map(move |m| (root, m, thin(root)))
+                })
+                .collect();
+            total += episode(topology, &flows, false);
+            ops += 1;
+        }
+    }
+    // Broadcast waves: column j handles rounds Q_j (contiguous split of
+    // 0..r); in wave w every column with a w-th round has its root
+    // flat-broadcast a fat block down the column.
+    let waves = r.div_ceil(c);
+    for w in 0..waves {
+        let flows: Vec<(usize, usize, u64)> = (0..c)
+            .filter_map(|j| {
+                let (start, len) = contiguous_split(r, c, j);
+                (w < len).then_some((j, start + w))
+            })
+            .flat_map(|(j, t)| {
+                let root = t * c + j;
+                (0..r)
+                    .map(move |f| f * c + j)
+                    .filter(move |&m| m != root)
+                    .map(move |m| (root, m, fat(t)))
+            })
+            .collect();
+        total += episode(topology, &flows, false);
+        ops += 1;
+    }
+    if c > 1 {
+        // Chain combine: c−1 sequential fat-Z hops along each fat row.
+        for j in 0..c - 1 {
+            let flows: Vec<(usize, usize, u64)> =
+                (0..r).map(|f| (f * c + j, f * c + j + 1, fat(f))).collect();
+            total += episode(topology, &flows, false);
+            ops += 1;
+        }
+        // Return: the chain tail hands each mate its thin Z slice.
+        let flows: Vec<(usize, usize, u64)> = (0..r)
+            .flat_map(|f| {
+                let tail = f * c + c - 1;
+                (f * c..(f + 1) * c)
+                    .filter(move |&m| m != tail)
+                    .map(move |m| (tail, m, thin(m)))
+            })
+            .collect();
+        total += episode(topology, &flows, false);
+        ops += 1;
+    }
+    total + ops as f64 * stage_barrier_seconds()
+}
+
+/// `(start, len)` of the `j`-th contiguous piece when `n` items are
+/// split over `parts` (first `n % parts` pieces one longer) — the same
+/// convention the executor uses for round assignment.
+pub fn contiguous_split(n: usize, parts: usize, j: usize) -> (usize, usize) {
+    let base = n / parts;
+    let rem = n % parts;
+    let start = j * base + j.min(rem);
+    (start, base + usize::from(j < rem))
+}
+
+/// Deterministic offline backend chooser (the backend-level analogue of
+/// [`AlgorithmSelector`](crate::AlgorithmSelector)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendSelector;
+
+impl BackendSelector {
+    /// Prices the planned gather against every CAGNET replication
+    /// candidate (`c = 1` plus each divisor `c` of `devices` with
+    /// `c² ≤ devices`) and returns the cheapest, ties going to the
+    /// planned backend. One device always chooses planned (there is
+    /// nothing to communicate).
+    pub fn choose(
+        topology: &Topology,
+        devices: usize,
+        n_rows: usize,
+        bytes_per_row: u64,
+        demand_pairs: &[(usize, usize, u64)],
+    ) -> BackendChoice {
+        let planned_seconds = planned_gather_cost(topology, demand_pairs);
+        if devices < 2 {
+            return BackendChoice {
+                kind: BackendKind::Planned,
+                planned_seconds,
+                cagnet: Vec::new(),
+            };
+        }
+        let cagnet: Vec<(usize, f64)> = (1..=devices)
+            .filter(|&c| devices.is_multiple_of(c) && (c == 1 || c * c <= devices))
+            .map(|c| {
+                (
+                    c,
+                    cagnet_aggregate_cost(topology, devices, c, n_rows, bytes_per_row),
+                )
+            })
+            .collect();
+        let (best_c, best_seconds) = cagnet
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("c = 1 is always a candidate");
+        let kind = if best_seconds < planned_seconds {
+            BackendKind::Cagnet {
+                replication: best_c,
+            }
+        } else {
+            BackendKind::Planned
+        };
+        BackendChoice {
+            kind,
+            planned_seconds,
+            cagnet,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_split_covers_everything_in_order() {
+        for n in 0..12usize {
+            for parts in 1..5usize {
+                let mut next = 0usize;
+                for j in 0..parts {
+                    let (start, len) = contiguous_split(n, parts, j);
+                    assert_eq!(start, next, "n {n} parts {parts} j {j}");
+                    next += len;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn cagnet_cost_is_positive_and_replication_helps_broadcast_volume() {
+        let topo = Topology::dgx1();
+        let c1 = cagnet_aggregate_cost(&topo, 8, 1, 4096, 1024);
+        let c2 = cagnet_aggregate_cost(&topo, 8, 2, 4096, 1024);
+        assert!(c1.is_finite() && c1 > 0.0);
+        assert!(c2.is_finite() && c2 > 0.0);
+    }
+
+    #[test]
+    fn tiny_cut_prefers_planned_and_huge_cut_prefers_cagnet() {
+        let topo = Topology::dgx1();
+        let n = 1 << 14;
+        let bpr = 4 * 64u64;
+        // A token cut: a few hundred vertices cross partitions.
+        let small: Vec<(usize, usize, u64)> = (0..8)
+            .flat_map(|i| {
+                (0..8)
+                    .filter(move |&j| j != i)
+                    .map(move |j| (i, j, 40 * bpr))
+            })
+            .collect();
+        let choice = BackendSelector::choose(&topo, 8, n, bpr, &small);
+        assert_eq!(choice.kind, BackendKind::Planned, "{choice:?}");
+        // A worst-case cut: everyone needs nearly everything.
+        let huge: Vec<(usize, usize, u64)> = (0..8)
+            .flat_map(|i| {
+                (0..8)
+                    .filter(move |&j| j != i)
+                    .map(move |j| (i, j, (n as u64 / 8) * bpr))
+            })
+            .collect();
+        let choice = BackendSelector::choose(&topo, 8, n, bpr, &huge);
+        assert!(
+            matches!(choice.kind, BackendKind::Cagnet { .. }),
+            "{choice:?}"
+        );
+        assert!(choice.chosen_seconds() <= choice.planned_seconds);
+    }
+
+    #[test]
+    fn one_device_always_chooses_planned() {
+        let topo = Topology::dgx1();
+        let choice = BackendSelector::choose(&topo, 1, 100, 256, &[]);
+        assert_eq!(choice.kind, BackendKind::Planned);
+    }
+
+    #[test]
+    fn selector_is_deterministic() {
+        let topo = Topology::pcie_host(8);
+        let pairs: Vec<(usize, usize, u64)> = (0..8)
+            .flat_map(|i| {
+                (0..8)
+                    .filter(move |&j| j != i)
+                    .map(move |j| (i, j, 1 << 16))
+            })
+            .collect();
+        let a = BackendSelector::choose(&topo, 8, 10_000, 512, &pairs);
+        let b = BackendSelector::choose(&topo, 8, 10_000, 512, &pairs);
+        assert_eq!(a, b);
+    }
+}

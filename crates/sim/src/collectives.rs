@@ -90,7 +90,7 @@ impl BroadcastAlgo {
 /// One flow episode over `(src, dst, bytes)` pairs; `warm` drops the
 /// per-flow startup overhead (steady-state chunks over established
 /// transfers). Self-pairs are local copies and cost nothing here.
-fn episode(topology: &Topology, pairs: &[(usize, usize, u64)], warm: bool) -> f64 {
+pub(crate) fn episode(topology: &Topology, pairs: &[(usize, usize, u64)], warm: bool) -> f64 {
     let flows: Vec<Flow> = pairs
         .iter()
         .enumerate()

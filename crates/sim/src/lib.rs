@@ -20,6 +20,7 @@
 //!   plans, replayed against the fluid network model (delays stretch
 //!   stages, crashes truncate the plan where the rank died).
 
+pub mod backends;
 pub mod collectives;
 pub mod compute;
 pub mod epoch;
@@ -28,6 +29,9 @@ pub mod memory;
 pub mod network;
 pub mod transport;
 
+pub use backends::{
+    cagnet_aggregate_cost, planned_gather_cost, BackendChoice, BackendKind, BackendSelector,
+};
 pub use collectives::{
     allreduce_cost, allreduce_costs, broadcast_cost, AlgorithmSelector, AllreduceAlgo,
     BroadcastAlgo,

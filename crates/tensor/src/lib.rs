@@ -22,8 +22,10 @@ mod matrix;
 mod ops;
 pub mod pool;
 mod reduce;
+pub mod spmm;
 
 pub use activation::Activation;
 pub use init::XavierInit;
 pub use matrix::Matrix;
 pub use pool::{compute_threads, set_compute_threads};
+pub use spmm::{spmm_csr_dense_into, CsrBlock};
