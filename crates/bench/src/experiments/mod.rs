@@ -22,6 +22,7 @@
 //! | `overlap` | (extra) | pipelined chunked collectives vs barriered schedule, simulated + measured |
 //! | `collectives` | (extra) | allreduce algorithm zoo: autotuned choice vs per-size best/worst |
 //! | `cagnet` | (extra) | backend crossover: planned gather vs CAGNET block SpMM, selector verdicts |
+//! | `recovery` | (extra) | elastic recovery: warm replan vs cold plan, epochs lost per crash |
 
 mod ablation;
 mod cagnet;
@@ -34,6 +35,7 @@ mod fig4;
 mod fig7;
 mod fig89;
 mod overlap;
+mod recovery;
 mod table1;
 mod table2;
 mod table3;
@@ -67,6 +69,7 @@ pub const ALL: &[&str] = &[
     "overlap",
     "collectives",
     "cagnet",
+    "recovery",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -92,6 +95,7 @@ pub fn run(id: &str, ctx: &mut RunContext) -> bool {
         "overlap" => overlap::run(ctx),
         "collectives" => collectives::run(ctx),
         "cagnet" => cagnet::run(ctx),
+        "recovery" => recovery::run(ctx),
         _ => return false,
     }
     true

@@ -1,0 +1,316 @@
+//! Recovery benchmark: warm replan vs cold plan, and end-to-end
+//! elastic recovery.
+//!
+//! Two questions, straight from the elastic-recovery design:
+//!
+//! * **Replan cost** — after an eviction the survivors' demands fall
+//!   into few demand classes, so replanning with the batched planner
+//!   (demand-class cache on) should resolve most demands from cache
+//!   where the exact cold planner runs a full spanning-tree search per
+//!   demand. Measured per graph on the 3-GPU survivor topology:
+//!   wall-clock (best of N) plus the planner's own demand-resolution
+//!   counters.
+//! * **Recovery cost** — one full `train_elastic` run per (graph,
+//!   crash mode) with an injected crash: epochs lost to the crash,
+//!   the epoch resumed from, the replan share and the end-to-end wall
+//!   clock including the recovery round.
+//!
+//! Results go to `BENCH_recovery.json`. Set `DGCL_BENCH_SMOKE=1` to
+//! shrink sizes and repetitions for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dgcl::trainer::TrainConfig;
+use dgcl::{train_elastic, FabricConfig, FaultPlan, RecoveryConfig};
+use dgcl_gnn::Architecture;
+use dgcl_graph::Dataset;
+use dgcl_plan::{spst_plan_with_config, SpstConfig};
+use dgcl_sim::epoch::partition_for;
+use dgcl_tensor::XavierInit;
+use dgcl_topology::Topology;
+
+use crate::harness::{ms, print_table, RunContext};
+
+/// One per-graph replan comparison on the survivor topology.
+struct ReplanRecord {
+    dataset: &'static str,
+    cold_seconds: f64,
+    warm_seconds: f64,
+    speedup: f64,
+    demands: usize,
+    cold_full_searches: usize,
+    warm_full_searches: usize,
+    warm_cache_commits: usize,
+}
+
+/// One end-to-end elastic run with an injected crash.
+struct RecoveryRecord {
+    dataset: &'static str,
+    crash: &'static str,
+    epochs: usize,
+    resumed_epoch: usize,
+    epochs_lost: usize,
+    replan_seconds: f64,
+    run_seconds: f64,
+    survivors: usize,
+}
+
+fn smoke() -> bool {
+    std::env::var("DGCL_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Best-of-`reps` of a body returning its own wall time in seconds
+/// (planning is minimum-meaningful: noise only ever adds).
+fn best_of<F: FnMut() -> f64>(reps: usize, mut body: F) -> f64 {
+    (0..reps.max(1))
+        .map(|_| body())
+        .fold(f64::INFINITY, f64::min)
+}
+
+pub fn run(ctx: &mut RunContext) {
+    let smoke = smoke();
+    let reps = if smoke { 2 } else { 5 };
+
+    // Replan comparison: the topology recovery actually replans on —
+    // fig6 with one GPU evicted. Timed at the planner (the partition
+    // and table compilation around it are identical either way).
+    let survivors = Topology::fig6().evict_gpus(&[2]);
+    let warm_config = SpstConfig::batched(cpus().clamp(1, 8));
+    let mut replans: Vec<ReplanRecord> = Vec::new();
+    let mut rows = Vec::new();
+    for dataset in [Dataset::WikiTalk, Dataset::WebGoogle] {
+        let graph = ctx.graph(dataset);
+        let pg = partition_for(&graph, &survivors, ctx.seed);
+        let cold = spst_plan_with_config(&pg, &survivors, 1024, ctx.seed, SpstConfig::default());
+        let warm = spst_plan_with_config(&pg, &survivors, 1024, ctx.seed, warm_config);
+        let cold_seconds = best_of(reps, || {
+            spst_plan_with_config(&pg, &survivors, 1024, ctx.seed, SpstConfig::default())
+                .planning_seconds
+        });
+        let warm_seconds = best_of(reps, || {
+            spst_plan_with_config(&pg, &survivors, 1024, ctx.seed, warm_config).planning_seconds
+        });
+        let cold_stats = cold.stats;
+        let warm_stats = warm.stats;
+        assert!(
+            warm_stats.full_searches < cold_stats.full_searches,
+            "{}: warm replan must search less than cold ({warm_stats:?} vs {cold_stats:?})",
+            dataset.name()
+        );
+        let speedup = cold_seconds / warm_seconds.max(1e-12);
+        rows.push(vec![
+            dataset.name().to_string(),
+            ms(cold_seconds),
+            ms(warm_seconds),
+            format!("{speedup:.2}x"),
+            cold_stats.full_searches.to_string(),
+            format!(
+                "{} ({} cached)",
+                warm_stats.full_searches,
+                warm_stats.cache_commits + warm_stats.speculative_commits
+            ),
+        ]);
+        replans.push(ReplanRecord {
+            dataset: dataset.name(),
+            cold_seconds,
+            warm_seconds,
+            speedup,
+            demands: cold_stats.demands,
+            cold_full_searches: cold_stats.full_searches,
+            warm_full_searches: warm_stats.full_searches,
+            warm_cache_commits: warm_stats.cache_commits + warm_stats.speculative_commits,
+        });
+    }
+    print_table(
+        "Recovery: survivor replan, cold exact vs warm batched (3 GPUs)",
+        &[
+            "Dataset",
+            "Cold (ms)",
+            "Warm (ms)",
+            "Speedup",
+            "Cold searches",
+            "Warm searches",
+        ],
+        &rows,
+    );
+    println!(
+        "  (cold = exact sequential planner, one spanning-tree search per demand;\n   warm = batched planner, demand-class cache resolving repeat classes.)"
+    );
+
+    // End-to-end: inject one crash per mode and run the elastic driver.
+    let epochs = if smoke { 3 } else { 6 };
+    let mut recoveries: Vec<RecoveryRecord> = Vec::new();
+    let mut rec_rows = Vec::new();
+    let mut init = XavierInit::new(ctx.seed);
+    for dataset in [Dataset::WikiTalk, Dataset::WebGoogle] {
+        let graph = ctx.graph(dataset);
+        let nv = graph.num_vertices();
+        let features = init.features(nv, 8);
+        let targets = init.features(nv, 4);
+        let cfg = TrainConfig::new(Architecture::Gcn, &[8, 4], epochs);
+        for (crash, faults) in [
+            ("at-epoch", FaultPlan::crash_at_epoch(1, epochs / 2)),
+            ("mid-op", FaultPlan::seeded_crash(9, 4, epochs)),
+        ] {
+            let rcfg = RecoveryConfig {
+                fabrics: vec![FabricConfig {
+                    faults,
+                    ..FabricConfig::default()
+                }],
+                ..RecoveryConfig::default()
+            };
+            let t = Instant::now();
+            let elastic = train_elastic(&graph, Topology::fig6(), &features, &targets, &cfg, &rcfg)
+                .expect("one crash fits the eviction budget");
+            let run_seconds = t.elapsed().as_secs_f64();
+            assert_eq!(elastic.events.len(), 1, "exactly one recovery round");
+            assert_eq!(
+                elastic.report.epoch_losses.len(),
+                epochs,
+                "training reached the epoch target"
+            );
+            let ev = &elastic.events[0];
+            rec_rows.push(vec![
+                dataset.name().to_string(),
+                crash.to_string(),
+                format!("{}/{epochs}", ev.resumed_epoch),
+                ev.epochs_lost.to_string(),
+                ms(ev.replan_seconds),
+                ms(run_seconds),
+                elastic.final_devices.to_string(),
+            ]);
+            recoveries.push(RecoveryRecord {
+                dataset: dataset.name(),
+                crash,
+                epochs,
+                resumed_epoch: ev.resumed_epoch,
+                epochs_lost: ev.epochs_lost,
+                replan_seconds: ev.replan_seconds,
+                run_seconds,
+                survivors: elastic.final_devices,
+            });
+        }
+    }
+    print_table(
+        "Recovery: end-to-end elastic run with one injected crash (4 GPUs)",
+        &[
+            "Dataset",
+            "Crash",
+            "Resumed at",
+            "Epochs lost",
+            "Replan (ms)",
+            "Run (ms)",
+            "Survivors",
+        ],
+        &rec_rows,
+    );
+    println!(
+        "  (per-epoch in-memory checkpoints: completed epochs are never lost;\n   `epochs lost` counts full epochs discarded, the in-flight one aside.)"
+    );
+
+    match std::fs::write(
+        "BENCH_recovery.json",
+        render_json(smoke, &replans, &recoveries),
+    ) {
+        Ok(()) => println!("  wrote BENCH_recovery.json"),
+        Err(e) => println!("  could not write BENCH_recovery.json: {e}"),
+    }
+}
+
+/// Hand-rolled JSON (the workspace is offline; no serde).
+fn render_json(smoke: bool, replans: &[ReplanRecord], recoveries: &[RecoveryRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"recovery\",");
+    let _ = writeln!(out, "  \"cpus\": {},", cpus());
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"replan\": [");
+    for (i, r) in replans.iter().enumerate() {
+        let comma = if i + 1 == replans.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"dataset\": \"{}\", \"cold_seconds\": {:.6}, \"warm_seconds\": {:.6}, \"speedup\": {:.3}, \"demands\": {}, \"cold_full_searches\": {}, \"warm_full_searches\": {}, \"warm_cache_commits\": {}, \"warm_beats_cold\": {}}}{}",
+            r.dataset,
+            r.cold_seconds,
+            r.warm_seconds,
+            r.speedup,
+            r.demands,
+            r.cold_full_searches,
+            r.warm_full_searches,
+            r.warm_cache_commits,
+            r.warm_seconds < r.cold_seconds,
+            comma,
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"recovery\": [");
+    for (i, r) in recoveries.iter().enumerate() {
+        let comma = if i + 1 == recoveries.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"dataset\": \"{}\", \"crash\": \"{}\", \"epochs\": {}, \"resumed_epoch\": {}, \"epochs_lost\": {}, \"replan_seconds\": {:.6}, \"run_seconds\": {:.6}, \"survivors\": {}}}{}",
+            r.dataset,
+            r.crash,
+            r.epochs,
+            r.resumed_epoch,
+            r.epochs_lost,
+            r.replan_seconds,
+            r.run_seconds,
+            r.survivors,
+            comma,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let replans = [ReplanRecord {
+            dataset: "wiki-talk",
+            cold_seconds: 0.02,
+            warm_seconds: 0.01,
+            speedup: 2.0,
+            demands: 6,
+            cold_full_searches: 6,
+            warm_full_searches: 2,
+            warm_cache_commits: 4,
+        }];
+        let recoveries = [RecoveryRecord {
+            dataset: "web-google",
+            crash: "at-epoch",
+            epochs: 6,
+            resumed_epoch: 3,
+            epochs_lost: 0,
+            replan_seconds: 0.015,
+            run_seconds: 1.2,
+            survivors: 3,
+        }];
+        let json = render_json(true, &replans, &recoveries);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"bench\": \"recovery\""));
+        assert!(json.contains("\"warm_beats_cold\": true"));
+        assert!(json.contains("\"crash\": \"at-epoch\""));
+        assert!(json.contains("\"epochs_lost\": 0"));
+    }
+
+    #[test]
+    fn best_of_picks_the_minimum() {
+        let mut sample = [0.4, 0.2, 0.3].into_iter();
+        let s = best_of(3, || sample.next().unwrap());
+        assert_eq!(s, 0.2);
+    }
+}

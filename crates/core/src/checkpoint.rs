@@ -1,0 +1,376 @@
+//! Training checkpoints: capture, serialization and restore.
+//!
+//! A [`Checkpoint`] is a consistent snapshot of everything training
+//! needs to resume: the model parameters, the (stateless-SGD) optimizer
+//! state — i.e. nothing beyond the parameters themselves — and the epoch
+//! state (completed-epoch count plus loss history). Model weights are
+//! identical on every rank after each epoch's gradient allreduce, so
+//! rank 0 alone publishes the authoritative snapshot; a crash *during*
+//! an epoch fails that epoch's allreduce on every rank, so a published
+//! checkpoint always reflects a fully completed epoch.
+//!
+//! Crucially the snapshot is **partition-independent**: parameters are
+//! replicated, not sharded, so a checkpoint taken on an N-GPU partition
+//! restores bit-for-bit onto any survivor partition. Remapping after an
+//! eviction is rebuilding [`crate::CommInfo`] and re-dispatching the
+//! (driver-held, global) features — the checkpoint itself never needs
+//! rewriting. See [`crate::recovery`] for the driver loop.
+//!
+//! Two persistence tiers bound the work lost to a crash:
+//!
+//! * **in-memory, every epoch** — the [`CheckpointStore`] the driver
+//!   shares with the trainer; at most the partial epoch is lost;
+//! * **serialized, every `k` epochs** — a [`CheckpointSpec`] writes the
+//!   [`Checkpoint::serialize`] bytes to a caller-provided
+//!   [`CheckpointSink`]; if the driver's memory is lost too (process
+//!   restart), at most `k` epochs are lost.
+//!
+//! The wire format is hand-rolled (the workspace vendors no serde):
+//! little-endian, `f32::to_bits` for floats, so a serialize/deserialize
+//! round trip is bitwise exact and resume-from-bytes matches
+//! resume-from-memory to the last ULP.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use dgcl_gnn::GnnNetwork;
+use dgcl_tensor::Matrix;
+
+/// Magic + format version prefix of a serialized checkpoint.
+const MAGIC: &[u8; 8] = b"DGCLCKP1";
+
+/// A consistent training snapshot after `epochs_done` completed epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Completed epochs: the parameters reflect exactly this many
+    /// optimizer steps.
+    pub epochs_done: usize,
+    /// Per-layer parameter snapshot, in [`GnnNetwork::snapshot_params`]
+    /// order (weights then biases per layer).
+    pub params: Vec<Vec<Matrix>>,
+    /// Global loss of every completed epoch, `losses.len() ==
+    /// epochs_done`.
+    pub losses: Vec<f32>,
+}
+
+impl Checkpoint {
+    /// Captures a checkpoint from a network that has completed
+    /// `losses.len()` epochs.
+    pub fn capture(net: &GnnNetwork, losses: Vec<f32>) -> Self {
+        Self {
+            epochs_done: losses.len(),
+            params: net.snapshot_params(),
+            losses,
+        }
+    }
+
+    /// Restores the parameters into `net` bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's layer count or parameter shapes mismatch
+    /// the snapshot (resuming onto a different model is a caller bug).
+    pub fn restore(&self, net: &mut GnnNetwork) {
+        net.load_params(&self.params);
+    }
+
+    /// Serializes to the versioned little-endian wire format.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u64(&mut out, self.epochs_done as u64);
+        put_u64(&mut out, self.losses.len() as u64);
+        for &l in &self.losses {
+            out.extend_from_slice(&l.to_bits().to_le_bytes());
+        }
+        put_u64(&mut out, self.params.len() as u64);
+        for layer in &self.params {
+            put_u64(&mut out, layer.len() as u64);
+            for m in layer {
+                put_u64(&mut out, m.rows() as u64);
+                put_u64(&mut out, m.cols() as u64);
+                for &x in m.as_slice() {
+                    out.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes bytes produced by [`Checkpoint::serialize`].
+    ///
+    /// # Errors
+    ///
+    /// [`CorruptCheckpoint`] on a bad magic, truncation or trailing
+    /// garbage — a recovery driver treats that as "no usable
+    /// checkpoint", never as a panic.
+    pub fn deserialize(bytes: &[u8]) -> Result<Self, CorruptCheckpoint> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(CorruptCheckpoint("bad magic".into()));
+        }
+        let epochs_done = r.u64()? as usize;
+        let num_losses = r.u64()? as usize;
+        if num_losses != epochs_done {
+            return Err(CorruptCheckpoint(format!(
+                "{num_losses} losses for {epochs_done} epochs"
+            )));
+        }
+        let mut losses = Vec::with_capacity(num_losses.min(r.remaining() / 4));
+        for _ in 0..num_losses {
+            losses.push(f32::from_bits(r.u32()?));
+        }
+        let num_layers = r.u64()? as usize;
+        let mut params = Vec::with_capacity(num_layers.min(r.remaining()));
+        for _ in 0..num_layers {
+            let num_params = r.u64()? as usize;
+            let mut layer = Vec::with_capacity(num_params.min(r.remaining()));
+            for _ in 0..num_params {
+                let rows = r.u64()? as usize;
+                let cols = r.u64()? as usize;
+                let len = rows
+                    .checked_mul(cols)
+                    .filter(|&len| len * 4 <= r.remaining())
+                    .ok_or_else(|| CorruptCheckpoint(format!("{rows}x{cols} matrix overruns")))?;
+                let mut data = Vec::with_capacity(len);
+                for _ in 0..len {
+                    data.push(f32::from_bits(r.u32()?));
+                }
+                layer.push(Matrix::from_vec(rows, cols, data));
+            }
+            params.push(layer);
+        }
+        if r.remaining() != 0 {
+            return Err(CorruptCheckpoint(format!(
+                "{} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(Self {
+            epochs_done,
+            params,
+            losses,
+        })
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CorruptCheckpoint> {
+        if self.remaining() < n {
+            return Err(CorruptCheckpoint(format!(
+                "truncated: wanted {n} bytes at {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, CorruptCheckpoint> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CorruptCheckpoint> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+/// A serialized checkpoint failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptCheckpoint(pub String);
+
+impl fmt::Display for CorruptCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt checkpoint: {}", self.0)
+    }
+}
+
+impl std::error::Error for CorruptCheckpoint {}
+
+/// Where serialized checkpoints go. Implementations must tolerate
+/// concurrent `store`s (rank 0 of successive attempts) and keep at
+/// least the most recent snapshot.
+pub trait CheckpointSink: Send + Sync {
+    /// Persists one serialized checkpoint, superseding earlier ones.
+    fn store(&self, bytes: Vec<u8>);
+
+    /// The most recent persisted snapshot, if the sink can read back
+    /// (a write-only sink — e.g. an upload — returns `None`, and
+    /// recovery falls back to the in-memory store).
+    fn load(&self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// An in-process [`CheckpointSink`] keeping the latest snapshot —
+/// stands in for a checkpoint file in tests and benches.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    latest: Mutex<Option<Vec<u8>>>,
+    stores: Mutex<usize>,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink behind an [`Arc`] (the shape every caller
+    /// wants).
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// How many snapshots have been stored.
+    pub fn stores(&self) -> usize {
+        *self.stores.lock().unwrap()
+    }
+}
+
+impl CheckpointSink for MemorySink {
+    fn store(&self, bytes: Vec<u8>) {
+        *self.latest.lock().unwrap() = Some(bytes);
+        *self.stores.lock().unwrap() += 1;
+    }
+
+    fn load(&self) -> Option<Vec<u8>> {
+        self.latest.lock().unwrap().clone()
+    }
+}
+
+/// Serialized-checkpoint cadence: write [`Checkpoint::serialize`] bytes
+/// to `sink` whenever `epochs_done` is a multiple of `every`.
+#[derive(Clone)]
+pub struct CheckpointSpec {
+    /// Serialize every this many completed epochs (≥ 1).
+    pub every: usize,
+    /// Destination for the serialized bytes.
+    pub sink: Arc<dyn CheckpointSink>,
+}
+
+impl fmt::Debug for CheckpointSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointSpec")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The in-memory checkpoint store the driver shares with the trainer:
+/// rank 0 publishes after every completed epoch; the recovery loop reads
+/// the latest on failure. Cheap to clone (an [`Arc`] inside).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    latest: Arc<Mutex<Option<Checkpoint>>>,
+}
+
+impl CheckpointStore {
+    /// Publishes a snapshot; keeps the existing one if it is not older
+    /// (attempts never regress the epoch counter).
+    pub fn publish(&self, ckpt: Checkpoint) {
+        let mut latest = self.latest.lock().unwrap();
+        if latest
+            .as_ref()
+            .is_none_or(|cur| cur.epochs_done <= ckpt.epochs_done)
+        {
+            *latest = Some(ckpt);
+        }
+    }
+
+    /// The most recently published snapshot.
+    pub fn latest(&self) -> Option<Checkpoint> {
+        self.latest.lock().unwrap().clone()
+    }
+}
+
+/// What the trainer does about checkpoints: always publish into the
+/// in-memory `store` after each epoch, and serialize on the `spec`
+/// cadence when one is given.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointConfig {
+    /// Per-epoch in-memory store (shared with the recovery driver).
+    pub store: CheckpointStore,
+    /// Optional serialized tier.
+    pub spec: Option<CheckpointSpec>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgcl_gnn::Architecture;
+
+    fn sample() -> Checkpoint {
+        let net = GnnNetwork::new(Architecture::Gcn, &[5, 4, 3], 7);
+        Checkpoint::capture(&net, vec![1.5, 0.75, 0.5])
+    }
+
+    #[test]
+    fn serialize_round_trips_bitwise() {
+        let c = sample();
+        let bytes = c.serialize();
+        let back = Checkpoint::deserialize(&bytes).expect("round trip");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn restore_matches_snapshot_bitwise() {
+        let c = sample();
+        let mut other = GnnNetwork::new(Architecture::Gcn, &[5, 4, 3], 999);
+        c.restore(&mut other);
+        assert_eq!(other.snapshot_params(), c.params);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let c = sample();
+        let bytes = c.serialize();
+        assert!(Checkpoint::deserialize(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Checkpoint::deserialize(b"NOTACKPT").is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Checkpoint::deserialize(&trailing).is_err());
+        let mut flipped = bytes;
+        // Blow up a matrix dimension; the reader must refuse rather
+        // than attempt a huge allocation.
+        let dim_at = MAGIC.len() + 8 + 8 + 3 * 4 + 8 + 8;
+        flipped[dim_at..dim_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Checkpoint::deserialize(&flipped).is_err());
+    }
+
+    #[test]
+    fn store_keeps_newest() {
+        let store = CheckpointStore::default();
+        assert!(store.latest().is_none());
+        let newer = sample();
+        let older = Checkpoint {
+            epochs_done: 1,
+            losses: vec![1.5],
+            ..newer.clone()
+        };
+        store.publish(newer.clone());
+        store.publish(older);
+        assert_eq!(store.latest().unwrap().epochs_done, newer.epochs_done);
+    }
+
+    #[test]
+    fn memory_sink_loads_latest() {
+        let sink = MemorySink::shared();
+        assert!(sink.load().is_none());
+        sink.store(vec![1]);
+        sink.store(vec![2, 3]);
+        assert_eq!(sink.load(), Some(vec![2, 3]));
+        assert_eq!(sink.stores(), 2);
+    }
+}

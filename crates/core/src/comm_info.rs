@@ -7,7 +7,7 @@ use dgcl_partition::hierarchical::hierarchical;
 use dgcl_partition::simple::block_partition;
 use dgcl_partition::{CagnetBlocks, PartitionedGraph};
 use dgcl_plan::plan::validate_plan;
-use dgcl_plan::{spst_plan, CommPlan, SendRecvTables};
+use dgcl_plan::{spst_plan_with_config, CommPlan, PlannerStats, SendRecvTables, SpstConfig};
 use dgcl_sim::{BackendChoice, BackendKind, BackendSelector};
 use dgcl_tensor::Matrix;
 use dgcl_topology::Topology;
@@ -38,6 +38,11 @@ pub struct BuildOptions {
     /// enough. Either way [`CommInfo::backend_choice`] records what the
     /// selector would have picked.
     pub backend: BackendPolicy,
+    /// Planner configuration. The default is the exact sequential
+    /// planner (bit-identical plans, no cache); recovery replans pass
+    /// [`SpstConfig::batched`] so the demand-class cache amortises the
+    /// survivors' near-identical demands.
+    pub spst: SpstConfig,
 }
 
 impl Default for BuildOptions {
@@ -48,6 +53,7 @@ impl Default for BuildOptions {
             non_atomic: true,
             chunk_rows: 64,
             backend: BackendPolicy::Fixed(BackendKind::Planned),
+            spst: SpstConfig::default(),
         }
     }
 }
@@ -80,6 +86,9 @@ pub struct CommInfo {
     pub backward_pipelines: Vec<PipelineSchedule>,
     /// SPST wall-clock planning time in seconds.
     pub planning_seconds: f64,
+    /// How the planner resolved each demand (full searches vs cache
+    /// commits) — the evidence that a warm replan was cheap.
+    pub plan_stats: PlannerStats,
     /// The cost model's estimate for one allgather in seconds.
     pub estimated_allgather_seconds: f64,
     /// The aggregation backend every rank runs (the policy's verdict).
@@ -175,7 +184,13 @@ pub fn try_build_comm_info(
         BackendKind::Planned => BackendKind::Planned,
     };
     let cagnet = Arc::new(CagnetBlocks::new(graph, &pg));
-    let outcome = spst_plan(&pg, &topology, options.bytes_per_vertex, options.seed);
+    let outcome = spst_plan_with_config(
+        &pg,
+        &topology,
+        options.bytes_per_vertex,
+        options.seed,
+        options.spst,
+    );
     validate_plan(&outcome.plan, &pg).expect("SPST must produce a valid plan");
     let forward_tables = SendRecvTables::from_plan(&outcome.plan);
     let backward = forward_tables.reversed();
@@ -217,6 +232,7 @@ pub fn try_build_comm_info(
         forward_pipelines,
         backward_pipelines,
         planning_seconds: outcome.planning_seconds,
+        plan_stats: outcome.stats,
         estimated_allgather_seconds: outcome.cost.total_time(),
         backend,
         backend_choice,

@@ -44,6 +44,24 @@ pub enum RuntimeError {
         /// The operation index at which it crashed.
         at_op: u64,
     },
+    /// An injected epoch-boundary crash from a
+    /// [`crate::fault::FaultPlan`] (`CrashAtEpoch`): the rank died
+    /// entering `epoch`, before any of its collectives ran.
+    InjectedEpochCrash {
+        /// The crashed rank.
+        rank: usize,
+        /// The 0-based epoch at whose boundary it crashed.
+        epoch: usize,
+    },
+}
+
+impl RuntimeError {
+    /// Whether this failure *originated* on the rank reporting it, as
+    /// opposed to being the propagated echo of another rank's death.
+    /// Recovery evicts originators and keeps echo victims.
+    pub fn is_origin(&self) -> bool {
+        !matches!(self, RuntimeError::Poisoned { .. })
+    }
 }
 
 impl fmt::Display for RuntimeError {
@@ -61,6 +79,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::InjectedCrash { rank, at_op } => {
                 write!(f, "injected crash of rank {rank} at op {at_op}")
             }
+            RuntimeError::InjectedEpochCrash { rank, epoch } => {
+                write!(f, "injected crash of rank {rank} at epoch {epoch} boundary")
+            }
         }
     }
 }
@@ -74,6 +95,19 @@ pub enum ClusterFailure {
     Panic(String),
     /// The device returned a [`RuntimeError`].
     Error(RuntimeError),
+}
+
+impl ClusterFailure {
+    /// Whether this failure originated on the rank that recorded it (a
+    /// panic, crash, timeout or protocol violation) rather than arriving
+    /// as poison from another rank's death. See
+    /// [`RuntimeError::is_origin`].
+    pub fn is_origin(&self) -> bool {
+        match self {
+            ClusterFailure::Panic(_) => true,
+            ClusterFailure::Error(e) => e.is_origin(),
+        }
+    }
 }
 
 impl fmt::Display for ClusterFailure {
@@ -109,6 +143,42 @@ impl ClusterError {
             .filter(move |&(r, _)| r != self.rank)
             .filter_map(|(r, e)| e.as_ref().map(|e| (r, e)))
     }
+
+    /// Every rank that recorded a failure of any kind.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.per_rank
+            .iter()
+            .enumerate()
+            .filter_map(|(r, e)| e.as_ref().map(|_| r))
+            .collect()
+    }
+
+    /// The ranks a recovery driver must evict: every rank whose recorded
+    /// failure *originated* locally (crash, panic, timeout, protocol
+    /// violation), plus the originating rank itself. Ranks that merely
+    /// observed another death as [`RuntimeError::Poisoned`] — and ranks
+    /// that completed before the poison reached them — are survivors.
+    ///
+    /// A silent deserter (a rank that returned early and left its peers
+    /// to time out) cannot be identified from the outcomes — its own
+    /// record is clean — so the timed-out originator is evicted in its
+    /// stead; recovery still converges, one eviction later.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        let mut dead: Vec<usize> = self
+            .per_rank
+            .iter()
+            .enumerate()
+            .filter_map(|(r, e)| match e {
+                Some(f) if f.is_origin() => Some(r),
+                _ => None,
+            })
+            .collect();
+        if !dead.contains(&self.rank) {
+            dead.push(self.rank);
+            dead.sort_unstable();
+        }
+        dead
+    }
 }
 
 impl fmt::Display for ClusterError {
@@ -120,7 +190,26 @@ impl fmt::Display for ClusterError {
             self.rank,
             self.cause,
             self.per_rank.len()
-        )
+        )?;
+        // Multi-failure recovery decisions need every rank's outcome, not
+        // just the first poisoner's: list the other failed ranks with
+        // their causes (originators before echo victims).
+        let mut others: Vec<(usize, &ClusterFailure)> = self
+            .per_rank
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| r != self.rank)
+            .filter_map(|(r, e)| e.as_ref().map(|e| (r, e)))
+            .collect();
+        others.sort_by_key(|(r, e)| (!e.is_origin(), *r));
+        if !others.is_empty() {
+            write!(f, "; also")?;
+            for (i, (r, e)) in others.iter().enumerate() {
+                let sep = if i == 0 { " " } else { ", " };
+                write!(f, "{sep}rank {r}: {e}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -166,5 +255,75 @@ mod tests {
         };
         let survivors: Vec<usize> = e.surviving_errors().map(|(r, _)| r).collect();
         assert_eq!(survivors, vec![0, 3]);
+    }
+
+    fn multi_failure() -> ClusterError {
+        // Rank 1 crashed first; rank 3 independently panicked; ranks 0
+        // and 2 saw the poison; rank 4 completed beforehand.
+        let poisoned = ClusterFailure::Error(RuntimeError::Poisoned {
+            origin: 1,
+            reason: "injected crash of rank 1 at op 3".into(),
+        });
+        ClusterError {
+            rank: 1,
+            cause: ClusterFailure::Error(RuntimeError::InjectedCrash { rank: 1, at_op: 3 }),
+            per_rank: vec![
+                Some(poisoned.clone()),
+                Some(ClusterFailure::Error(RuntimeError::InjectedCrash {
+                    rank: 1,
+                    at_op: 3,
+                })),
+                Some(poisoned),
+                Some(ClusterFailure::Panic("oom".into())),
+                None,
+            ],
+            deadline: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn display_lists_all_failed_ranks_and_causes() {
+        let s = multi_failure().to_string();
+        // Originator first, then the other failures with their causes:
+        // the independent panic before the poison echoes.
+        assert!(s.contains("rank 1 injected crash"), "{s}");
+        assert!(s.contains("4/5 ranks failed"), "{s}");
+        assert!(s.contains("rank 3: panic: oom"), "{s}");
+        assert!(s.contains("rank 0: fabric poisoned"), "{s}");
+        assert!(s.contains("rank 2: fabric poisoned"), "{s}");
+        let pos = |needle: &str| s.find(needle).unwrap();
+        assert!(
+            pos("rank 3:") < pos("rank 0:"),
+            "origins before echoes: {s}"
+        );
+    }
+
+    #[test]
+    fn dead_ranks_are_origins_only() {
+        let e = multi_failure();
+        assert_eq!(e.dead_ranks(), vec![1, 3]);
+        assert_eq!(e.failed_ranks(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dead_ranks_always_includes_originator() {
+        // Degenerate case: the originating rank's own slot records only
+        // the echo (e.g. its typed error was overwritten by poison
+        // observed on a later op) — eviction must still include it.
+        let e = ClusterError {
+            rank: 2,
+            cause: ClusterFailure::Panic("dead".into()),
+            per_rank: vec![
+                None,
+                None,
+                Some(ClusterFailure::Error(RuntimeError::Poisoned {
+                    origin: 2,
+                    reason: "x".into(),
+                })),
+                None,
+            ],
+            deadline: Duration::from_secs(5),
+        };
+        assert_eq!(e.dead_ranks(), vec![2]);
     }
 }

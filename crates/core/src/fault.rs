@@ -43,6 +43,18 @@ pub enum FaultEvent {
         /// How many pipeline actions complete before the crash.
         after_actions: usize,
     },
+    /// Rank `rank` fails permanently at the *epoch boundary*: the first
+    /// thing the trainer does when entering epoch `epoch` (0-based) is
+    /// die, before any collective of that epoch starts. This is the clean
+    /// half of the recovery test matrix — the last checkpoint is exactly
+    /// one epoch behind — where [`FaultEvent::CrashMidOp`] models dying
+    /// with an epoch's collectives half-flown.
+    CrashAtEpoch {
+        /// The rank to crash.
+        rank: usize,
+        /// The 0-based epoch at whose start the rank dies.
+        epoch: usize,
+    },
     /// Messages from `src` to `dst` in plan stage `stage` are delayed by
     /// `delay` before delivery (the sender blocks, like a slow link).
     Delay {
@@ -103,6 +115,43 @@ impl FaultPlan {
         }
     }
 
+    /// A plan that crashes `rank` at the boundary of epoch `epoch`.
+    pub fn crash_at_epoch(rank: usize, epoch: usize) -> Self {
+        Self {
+            events: vec![FaultEvent::CrashAtEpoch { rank, epoch }],
+        }
+    }
+
+    /// A deterministic single-crash plan derived from `seed`: one rank in
+    /// `0..num_devices` dies, either at a random epoch boundary in
+    /// `0..max_epoch` or mid-operation (alternating on the seed), so the
+    /// recovery suite can sweep seeds and exercise both loss modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_devices` is zero or `max_epoch` is zero.
+    pub fn seeded_crash(seed: u64, num_devices: usize, max_epoch: usize) -> Self {
+        assert!(num_devices > 0, "need at least one device");
+        assert!(max_epoch > 0, "need at least one epoch to crash in");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rank = rng.gen_range(0..num_devices);
+        let epoch = rng.gen_range(0..max_epoch);
+        let event = if rng.gen_range(0..2u8) == 0 {
+            FaultEvent::CrashAtEpoch { rank, epoch }
+        } else {
+            // Mid-op: die inside one of the epoch's first collectives,
+            // after a few pipeline actions.
+            FaultEvent::CrashMidOp {
+                rank,
+                at_op: (epoch as u64) * 2 + 1,
+                after_actions: rng.gen_range(1..8),
+            }
+        };
+        Self {
+            events: vec![event],
+        }
+    }
+
     /// A random *benign* plan (delays, duplicates and reorders — no
     /// crashes) over `num_devices` ranks, derived deterministically from
     /// `seed`. Benign plans must never change training results.
@@ -137,10 +186,26 @@ impl FaultPlan {
 
     /// Whether every event is benign (no crashes).
     pub fn is_benign(&self) -> bool {
-        !self
-            .events
+        !self.events.iter().any(|e| {
+            matches!(
+                e,
+                FaultEvent::Crash { .. }
+                    | FaultEvent::CrashMidOp { .. }
+                    | FaultEvent::CrashAtEpoch { .. }
+            )
+        })
+    }
+
+    /// The earliest epoch at whose boundary `rank` is scheduled to die,
+    /// if a [`FaultEvent::CrashAtEpoch`] names it.
+    pub fn crash_epoch(&self, rank: usize) -> Option<usize> {
+        self.events
             .iter()
-            .any(|e| matches!(e, FaultEvent::Crash { .. } | FaultEvent::CrashMidOp { .. }))
+            .filter_map(|e| match e {
+                FaultEvent::CrashAtEpoch { rank: r, epoch } if *r == rank => Some(*epoch),
+                _ => None,
+            })
+            .min()
     }
 
     /// The earliest op at which `rank` is scheduled to crash, if any.
@@ -217,6 +282,9 @@ impl FaultPlan {
                         rank,
                         stage: at_op.saturating_sub(1) as usize,
                     },
+                    // Epoch boundaries precede any collective of the
+                    // epoch; the fluid model sees a crash at stage 0.
+                    FaultEvent::CrashAtEpoch { rank, .. } => SimFault::Crash { rank, stage: 0 },
                     FaultEvent::Delay {
                         src,
                         dst,
@@ -272,6 +340,40 @@ mod tests {
         assert_eq!(plan.crash_at(2), Some(1));
         assert_eq!(plan.crash_at(0), None);
         assert!(!plan.is_benign());
+    }
+
+    #[test]
+    fn crash_at_epoch_is_deterministic_and_not_benign() {
+        let plan = FaultPlan::crash_at_epoch(3, 2);
+        assert!(!plan.is_benign());
+        assert_eq!(plan.crash_epoch(3), Some(2));
+        assert_eq!(plan.crash_epoch(0), None);
+        let a = FaultPlan::seeded_crash(7, 4, 5);
+        let b = FaultPlan::seeded_crash(7, 4, 5);
+        assert_eq!(a, b, "same seed, same crash");
+        assert!(!a.is_benign());
+        assert_eq!(a.events.len(), 1);
+        // Across seeds both crash modes appear.
+        let modes: Vec<bool> = (0..16)
+            .map(|s| {
+                matches!(
+                    FaultPlan::seeded_crash(s, 4, 5).events[0],
+                    FaultEvent::CrashAtEpoch { .. }
+                )
+            })
+            .collect();
+        assert!(modes.iter().any(|&m| m) && modes.iter().any(|&m| !m));
+    }
+
+    #[test]
+    fn crash_epoch_picks_earliest() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent::CrashAtEpoch { rank: 1, epoch: 4 },
+                FaultEvent::CrashAtEpoch { rank: 1, epoch: 2 },
+            ],
+        };
+        assert_eq!(plan.crash_epoch(1), Some(2));
     }
 
     #[test]

@@ -59,6 +59,7 @@
 //! ```
 
 pub mod backend;
+pub mod checkpoint;
 pub mod collectives;
 pub mod comm_info;
 pub mod error;
@@ -66,11 +67,16 @@ pub mod fabric;
 pub mod fault;
 pub mod overlap;
 pub mod pipeline;
+pub mod recovery;
 pub mod runtime;
 pub mod schedule;
 pub mod trainer;
 
 pub use backend::{backend_for, BackendPolicy, CagnetBackend, CommBackend, PlannedBackend};
+pub use checkpoint::{
+    Checkpoint, CheckpointConfig, CheckpointSink, CheckpointSpec, CheckpointStore,
+    CorruptCheckpoint, MemorySink,
+};
 pub use collectives::{
     AlgorithmSelector, AllreduceAlgo, AllreducePolicy, BroadcastAlgo, CollectiveEngine, GroupSpec,
 };
@@ -81,4 +87,5 @@ pub use fabric::{Fabric, FabricConfig};
 pub use fault::{FaultEvent, FaultPlan};
 pub use overlap::{OverlapWorker, Pending};
 pub use pipeline::PipelineSchedule;
+pub use recovery::{train_elastic, ElasticReport, RecoveryConfig, RecoveryEvent, ResumePolicy};
 pub use runtime::{run_cluster, run_cluster_with, DeviceHandle, ExecStrategy};

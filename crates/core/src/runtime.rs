@@ -106,6 +106,26 @@ impl<'a> DeviceHandle<'a> {
         Ok(op)
     }
 
+    /// Fires any [`crate::fault::FaultEvent::CrashAtEpoch`] scheduled for
+    /// this rank. The trainer calls this at every epoch boundary — the
+    /// fabric's op counter cannot see epochs, only the epoch loop can.
+    /// Mirrors [`DeviceHandle::begin_op`]: the crash poisons the fabric
+    /// (so peers unwind promptly) and surfaces as a typed error.
+    pub(crate) fn check_epoch_fault(&self, epoch: usize) -> Result<(), RuntimeError> {
+        if let Some(at_epoch) = self.fabric.config().faults.crash_epoch(self.rank) {
+            if epoch >= at_epoch {
+                let err = RuntimeError::InjectedEpochCrash {
+                    rank: self.rank,
+                    epoch: at_epoch,
+                };
+                self.fabric
+                    .poison(self.rank, ClusterFailure::Error(err.clone()));
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
     /// Poisons the fabric with any error the device itself originated, so
     /// peers blocked on this rank unwind instead of waiting out their
     /// deadline. Poison-propagation errors pass through untouched (the

@@ -21,6 +21,7 @@ use dgcl_sim::BackendKind;
 use dgcl_tensor::Matrix;
 
 use crate::backend::{backend_for, CommBackend};
+use crate::checkpoint::{Checkpoint, CheckpointConfig};
 use crate::collectives::{AlgorithmSelector, AllreduceAlgo, AllreducePolicy};
 use crate::comm_info::CommInfo;
 use crate::error::{ClusterError, RuntimeError};
@@ -159,7 +160,87 @@ pub fn train_distributed_with(
     features: &Matrix,
     targets: &Matrix,
     cfg: &TrainConfig,
+    fabric_config: FabricConfig,
+) -> Result<TrainReport, ClusterError> {
+    train_distributed_resumable(
+        info,
+        graph,
+        features,
+        targets,
+        cfg,
+        fabric_config,
+        None,
+        None,
+    )
+}
+
+/// Per-epoch context shared by both device bodies: where in the global
+/// epoch range this attempt runs, the losses of epochs completed before
+/// it (from the resumed checkpoint), and where rank 0 publishes
+/// checkpoints.
+struct EpochCtx<'a> {
+    start_epoch: usize,
+    end_epoch: usize,
+    prior_losses: &'a [f32],
+    checkpoints: Option<&'a CheckpointConfig>,
+}
+
+impl EpochCtx<'_> {
+    /// Rank 0's post-step hook: publishes the in-memory checkpoint for
+    /// every completed epoch and serializes to the sink on its cadence.
+    /// Weights are identical on all ranks after the allreduce-then-step,
+    /// so one publisher suffices; any crash earlier in the epoch fails
+    /// the allreduce and never reaches this point.
+    fn publish(&self, rank: usize, net: &GnnNetwork, new_losses: &[f32]) {
+        let Some(ck) = self.checkpoints else { return };
+        if rank != 0 {
+            return;
+        }
+        let mut losses = self.prior_losses.to_vec();
+        losses.extend_from_slice(new_losses);
+        let ckpt = Checkpoint::capture(net, losses);
+        if let Some(spec) = &ck.spec {
+            if spec.every > 0 && ckpt.epochs_done.is_multiple_of(spec.every) {
+                spec.sink.store(ckpt.serialize());
+            }
+        }
+        ck.store.publish(ckpt);
+    }
+}
+
+/// [`train_distributed_with`] that can start from a [`Checkpoint`] and
+/// publish new ones — the primitive under [`crate::recovery`]'s elastic
+/// driver loop.
+///
+/// `resume` restores the snapshot's parameters and loss history and
+/// runs only the remaining `resume.epochs_done..cfg.epochs` epochs; the
+/// returned [`TrainReport`] covers the *full* history (prior losses
+/// first), so a resumed run is directly comparable — bitwise — to an
+/// uninterrupted one. The checkpoint is partition-independent: it may
+/// have been captured on a different device count than `info` has.
+///
+/// `checkpoints` makes rank 0 publish an in-memory snapshot after every
+/// completed epoch, plus a serialized one on the configured cadence.
+///
+/// # Errors
+///
+/// [`ClusterError`] if any device fails; no failure mode hangs.
+///
+/// # Panics
+///
+/// Panics if `features`/`targets` row counts do not match the graph, if
+/// the checkpoint does not fit the configured model shape, or if it has
+/// already passed `cfg.epochs`.
+#[allow(clippy::too_many_arguments)]
+pub fn train_distributed_resumable(
+    info: &CommInfo,
+    graph: &CsrGraph,
+    features: &Matrix,
+    targets: &Matrix,
+    cfg: &TrainConfig,
     mut fabric_config: FabricConfig,
+    resume: Option<&Checkpoint>,
+    checkpoints: Option<&CheckpointConfig>,
 ) -> Result<TrainReport, ClusterError> {
     match cfg.allreduce {
         Some(algo) => fabric_config.allreduce = AllreducePolicy::Fixed(algo),
@@ -191,6 +272,28 @@ pub fn train_distributed_with(
     // The eager next-epoch allgather only makes sense on the planned
     // backend (CAGNET never runs the vertex-cut exchange).
     let eager_gather = backend_kind == BackendKind::Planned;
+    // The initial replica is built once at the driver: every rank clones
+    // it, so a resumed attempt restores the checkpoint exactly once.
+    let mut net0 = GnnNetwork::new(cfg.arch, &cfg.dims, cfg.weight_seed);
+    let (start_epoch, prior_losses) = match resume {
+        Some(ckpt) => {
+            assert!(
+                ckpt.epochs_done <= cfg.epochs,
+                "checkpoint at epoch {} is past the {}-epoch target",
+                ckpt.epochs_done,
+                cfg.epochs
+            );
+            ckpt.restore(&mut net0);
+            (ckpt.epochs_done, ckpt.losses.clone())
+        }
+        None => (0, Vec::new()),
+    };
+    let ctx = EpochCtx {
+        start_epoch,
+        end_epoch: cfg.epochs,
+        prior_losses: &prior_losses,
+        checkpoints,
+    };
     let per_device_features = info.dispatch_features(features);
     let per_device_targets = info.dispatch_features(targets);
     let results = run_cluster_with(info, fabric_config, |handle| {
@@ -199,6 +302,8 @@ pub fn train_distributed_with(
             device_body_overlapped(
                 &handle,
                 cfg,
+                &ctx,
+                &net0,
                 backend.as_ref(),
                 eager_gather,
                 &per_device_features,
@@ -209,13 +314,16 @@ pub fn train_distributed_with(
             device_body_barriered(
                 &handle,
                 cfg,
+                &ctx,
+                &net0,
                 backend.as_ref(),
                 &per_device_features,
                 &per_device_targets,
             )
         }
     })?;
-    let losses = results[0].0.clone();
+    let mut losses = prior_losses;
+    losses.extend_from_slice(&results[0].0);
     let blocks: Vec<Matrix> = results.into_iter().map(|(_, out)| out).collect();
     let outputs = info.collect_outputs(&blocks);
     Ok(TrainReport {
@@ -241,17 +349,20 @@ fn fold_direct(mut grad_agg_back: Matrix, direct: Option<Matrix>) -> Matrix {
 
 /// The serial reference schedule: barriered collectives, one monolithic
 /// allreduce per epoch. Communication and compute strictly alternate.
+#[allow(clippy::too_many_arguments)]
 fn device_body_barriered(
     handle: &crate::runtime::DeviceHandle<'_>,
     cfg: &TrainConfig,
+    ctx: &EpochCtx<'_>,
+    net0: &GnnNetwork,
     backend: &dyn CommBackend,
     per_device_features: &[Matrix],
     per_device_targets: &[Matrix],
 ) -> Result<(Vec<f32>, Matrix), RuntimeError> {
     let rank = handle.rank;
     let agg_kind = cfg.arch.agg_kind();
-    let mut net = GnnNetwork::new(cfg.arch, &cfg.dims, cfg.weight_seed);
-    let mut losses = Vec::with_capacity(cfg.epochs);
+    let mut net = net0.clone();
+    let mut losses = Vec::with_capacity(ctx.end_epoch - ctx.start_epoch);
     let forward = |net: &mut GnnNetwork,
                    handle: &crate::runtime::DeviceHandle<'_>|
      -> Result<Matrix, RuntimeError> {
@@ -262,7 +373,8 @@ fn device_body_barriered(
         }
         Ok(h)
     };
-    for _ in 0..cfg.epochs {
+    for epoch in ctx.start_epoch..ctx.end_epoch {
+        handle.check_epoch_fault(epoch)?;
         let out = forward(&mut net, handle)?;
         let (local_loss, grad_out) = mse_loss(&out, &per_device_targets[rank]);
         // Backward through the layers, routing each layer's aggregate
@@ -290,6 +402,7 @@ fn device_body_barriered(
             cursor += count;
         }
         net.step(cfg.lr);
+        ctx.publish(rank, &net, &losses);
     }
     let out = forward(&mut net, handle)?;
     Ok((losses, out))
@@ -308,9 +421,12 @@ fn device_body_barriered(
 /// independently of bucketing, and layer-`L` gradients are final the
 /// moment layer `L`'s backward returns (later backward calls touch other
 /// layers only).
+#[allow(clippy::too_many_arguments)]
 fn device_body_overlapped(
     handle: &crate::runtime::DeviceHandle<'_>,
     cfg: &TrainConfig,
+    ctx: &EpochCtx<'_>,
+    net0: &GnnNetwork,
     backend: &dyn CommBackend,
     eager_gather: bool,
     per_device_features: &[Matrix],
@@ -321,9 +437,9 @@ fn device_body_overlapped(
     let adj = &lg.graph;
     let num_local = lg.num_local;
     let agg_kind = cfg.arch.agg_kind();
-    let mut net = GnnNetwork::new(cfg.arch, &cfg.dims, cfg.weight_seed);
+    let mut net = net0.clone();
     let num_layers = net.num_layers();
-    let mut losses = Vec::with_capacity(cfg.epochs);
+    let mut losses = Vec::with_capacity(ctx.end_epoch - ctx.start_epoch);
     let worker = handle.overlap_worker();
     let forward = |net: &mut GnnNetwork,
                    handle: &crate::runtime::DeviceHandle<'_>,
@@ -360,7 +476,8 @@ fn device_body_overlapped(
         }
     };
     let mut next_gather = submit_eager(handle)?;
-    for _ in 0..cfg.epochs {
+    for epoch in ctx.start_epoch..ctx.end_epoch {
+        handle.check_epoch_fault(epoch)?;
         let out = forward(&mut net, handle, next_gather)?;
         let (local_loss, grad_out) = mse_loss(&out, &per_device_targets[rank]);
         let mut buckets = Vec::with_capacity(num_layers + 1);
@@ -386,6 +503,7 @@ fn device_body_overlapped(
             net.layers_mut()[li].set_gradients(&grads);
         }
         net.step(cfg.lr);
+        ctx.publish(rank, &net, &losses);
     }
     let out = forward(&mut net, handle, next_gather)?;
     Ok((losses, out))

@@ -143,6 +143,27 @@ impl Layer {
         self.weights.iter().chain(self.biases.iter()).collect()
     }
 
+    /// Overwrites the parameters (weights then biases, the order
+    /// [`Layer::parameters`] returns). The checkpoint/restore path uses
+    /// this to load a snapshot bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count or shapes do not match.
+    pub fn set_parameters(&mut self, params: &[Matrix]) {
+        let n_w = self.weights.len();
+        assert_eq!(params.len(), n_w + self.biases.len(), "parameter count");
+        for (dst, src) in self
+            .weights
+            .iter_mut()
+            .chain(self.biases.iter_mut())
+            .zip(params)
+        {
+            assert_eq!(dst.shape(), src.shape(), "parameter shape");
+            *dst = src.clone();
+        }
+    }
+
     /// Read-only view of the accumulated parameter gradients.
     pub fn gradients(&self) -> Vec<&Matrix> {
         self.grad_weights

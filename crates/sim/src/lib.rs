@@ -19,6 +19,9 @@
 //! * [`faults`] — fault events mirrored from the runtime's fault-injection
 //!   plans, replayed against the fluid network model (delays stretch
 //!   stages, crashes truncate the plan where the rank died).
+//! * [`recovery`] — a discrete Young/Daly-style model pricing the
+//!   elastic-recovery trade-off: checkpoint-serialization cadence versus
+//!   expected work lost per crash.
 
 pub mod backends;
 pub mod collectives;
@@ -27,6 +30,7 @@ pub mod epoch;
 pub mod faults;
 pub mod memory;
 pub mod network;
+pub mod recovery;
 pub mod transport;
 
 pub use backends::{
@@ -42,3 +46,4 @@ pub use epoch::{
 };
 pub use faults::{simulate_plan_faulted, FaultedReport, SimFault, SimFaultPlan};
 pub use network::{simulate_flows, simulate_plan, simulate_plan_pipelined, Flow, NetworkReport};
+pub use recovery::RecoveryModel;

@@ -1,0 +1,134 @@
+//! Offline cost model for elastic recovery.
+//!
+//! The runtime's elastic driver (in `dgcl`) checkpoints every epoch in
+//! memory and serializes every `k` epochs; a crash costs one replan
+//! plus the recomputation of whatever the resumed checkpoint had not
+//! captured. This model prices that trade-off so the serialization
+//! cadence `k` can be chosen offline — a discrete cousin of the
+//! Young/Daly optimal-checkpoint-interval analysis, specialized to
+//! epoch-granular training where snapshots can only happen at epoch
+//! boundaries.
+
+/// Per-epoch cost parameters of one training deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryModel {
+    /// Wall-clock of one training epoch.
+    pub epoch_seconds: f64,
+    /// Wall-clock of serializing one checkpoint to the sink.
+    pub checkpoint_seconds: f64,
+    /// Wall-clock of the survivor replan (repartition + warm SPST +
+    /// table compilation).
+    pub replan_seconds: f64,
+}
+
+impl RecoveryModel {
+    /// Expected seconds lost to one crash when the driver resumes from
+    /// the serialized tier with cadence `every`: the replan, the
+    /// in-flight half epoch, plus on average `(every - 1) / 2` fully
+    /// recomputed epochs (a crash lands uniformly within the cadence
+    /// window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn expected_crash_seconds(&self, every: usize) -> f64 {
+        assert!(every > 0, "cadence must be at least one epoch");
+        let recompute = (every - 1) as f64 / 2.0;
+        self.replan_seconds + (0.5 + recompute) * self.epoch_seconds
+    }
+
+    /// Expected wall-clock of an `epochs`-epoch run with serialization
+    /// cadence `every` and `crashes_per_epoch` expected failures per
+    /// epoch: the epochs themselves, the amortized serialization
+    /// overhead, and the expected crash losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn expected_run_seconds(&self, epochs: usize, every: usize, crashes_per_epoch: f64) -> f64 {
+        let productive = epochs as f64 * self.epoch_seconds;
+        let snapshots = (epochs / every) as f64 * self.checkpoint_seconds;
+        let crashes = epochs as f64 * crashes_per_epoch * self.expected_crash_seconds(every);
+        productive + snapshots + crashes
+    }
+
+    /// The serialization cadence in `1..=epochs` minimizing
+    /// [`RecoveryModel::expected_run_seconds`] (ties go to the shorter
+    /// cadence — fresher snapshots at equal cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    pub fn best_cadence(&self, epochs: usize, crashes_per_epoch: f64) -> usize {
+        assert!(epochs > 0, "need at least one epoch");
+        (1..=epochs)
+            .min_by(|&a, &b| {
+                self.expected_run_seconds(epochs, a, crashes_per_epoch)
+                    .total_cmp(&self.expected_run_seconds(epochs, b, crashes_per_epoch))
+            })
+            .expect("non-empty range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RecoveryModel {
+        RecoveryModel {
+            epoch_seconds: 2.0,
+            checkpoint_seconds: 0.3,
+            replan_seconds: 0.8,
+        }
+    }
+
+    #[test]
+    fn crash_cost_grows_with_cadence() {
+        let m = model();
+        assert!(m.expected_crash_seconds(1) < m.expected_crash_seconds(4));
+        // Cadence 1 loses only the replan and the in-flight half epoch.
+        let c1 = m.expected_crash_seconds(1);
+        assert!((c1 - (0.8 + 0.5 * 2.0)).abs() < 1e-12, "{c1}");
+    }
+
+    #[test]
+    fn reliable_clusters_prefer_sparse_snapshots() {
+        let m = model();
+        let rare = m.best_cadence(50, 1e-4);
+        let frequent = m.best_cadence(50, 0.5);
+        assert!(
+            rare > frequent,
+            "rare crashes {rare} should allow sparser snapshots than frequent {frequent}"
+        );
+        assert_eq!(frequent, 1, "at half a crash per epoch, snapshot always");
+    }
+
+    #[test]
+    fn free_snapshots_mean_cadence_one() {
+        let m = RecoveryModel {
+            checkpoint_seconds: 0.0,
+            ..model()
+        };
+        assert_eq!(m.best_cadence(30, 0.01), 1);
+    }
+
+    #[test]
+    fn costly_snapshots_push_cadence_up() {
+        let cheap = model();
+        let costly = RecoveryModel {
+            checkpoint_seconds: 10.0,
+            ..model()
+        };
+        let rate = 0.02;
+        assert!(costly.best_cadence(40, rate) > cheap.best_cadence(40, rate));
+    }
+
+    #[test]
+    fn run_cost_has_productive_floor() {
+        let m = model();
+        let floor = 20.0 * m.epoch_seconds;
+        for every in 1..=10 {
+            assert!(m.expected_run_seconds(20, every, 0.0) >= floor);
+        }
+    }
+}

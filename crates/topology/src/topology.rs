@@ -345,6 +345,54 @@ impl Topology {
         })
     }
 
+    /// The topology that remains after evicting the GPUs in `dead`:
+    /// surviving GPUs are renumbered densely in ascending old-rank order,
+    /// every non-GPU node survives, and every connection not touching an
+    /// evicted GPU is kept with its bandwidth. Routes are recomputed.
+    ///
+    /// GPUs are never route relays, so removing one cannot disconnect the
+    /// survivors — this is what makes eviction always well-formed. The
+    /// elastic-recovery driver uses it to shrink the cluster after a rank
+    /// failure before repartitioning and replanning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dead` names an out-of-range rank or would leave no GPU.
+    pub fn evict_gpus(&self, dead: &[usize]) -> Topology {
+        for &r in dead {
+            assert!(r < self.num_gpus(), "evicted rank {r} out of range");
+        }
+        let survivors: Vec<usize> = (0..self.num_gpus()).filter(|r| !dead.contains(r)).collect();
+        assert!(!survivors.is_empty(), "eviction would leave no GPU");
+        let mut b = Topology::builder(format!("{}-{}", self.name, survivors.len()));
+        // Old NodeId -> new NodeId for every surviving node.
+        let mut remap: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        for (id, kind) in self.nodes.iter().enumerate() {
+            let new_kind = match *kind {
+                NodeKind::Gpu {
+                    rank,
+                    machine,
+                    socket,
+                } => match survivors.binary_search(&(rank as usize)) {
+                    Ok(new_rank) => NodeKind::Gpu {
+                        rank: new_rank as u32,
+                        machine,
+                        socket,
+                    },
+                    Err(_) => continue,
+                },
+                other => other,
+            };
+            remap[id] = Some(b.add_node(new_kind));
+        }
+        for conn in &self.conns {
+            if let (Some(a), Some(bn)) = (remap[conn.a.index()], remap[conn.b.index()]) {
+                b.connect_with_bandwidth(a, bn, conn.kind, conn.bandwidth_gbps);
+            }
+        }
+        b.build()
+    }
+
     /// The host-memory node local to the GPU with `rank`, if the topology
     /// has one (used by the swap baseline).
     pub fn host_memory_of(&self, rank: usize) -> Option<NodeId> {
@@ -478,6 +526,55 @@ mod tests {
             socket: 0,
         });
         let _ = b.build();
+    }
+
+    #[test]
+    fn evict_renumbers_and_keeps_connectivity() {
+        let t = crate::Topology::dgx1();
+        let s = t.evict_gpus(&[2, 5]);
+        assert_eq!(s.num_gpus(), 6);
+        // Survivors 0,1,3,4,6,7 renumber to 0..6; machines unchanged.
+        for new_rank in 0..6 {
+            let old = [0usize, 1, 3, 4, 6, 7][new_rank];
+            assert_eq!(s.machine_of(new_rank), t.machine_of(old));
+            assert_eq!(s.socket_of(new_rank), t.socket_of(old));
+        }
+        // Every surviving pair still routes.
+        for a in 0..6 {
+            for b in 0..6 {
+                let r = s.route(a, b);
+                assert!(a == b || !r.hops.is_empty(), "{a}->{b}");
+            }
+        }
+        // NVLink structure is preserved where both endpoints survive:
+        // old 0-1 (new 0-1) keeps its direct NVLink.
+        assert!(s.is_nvlink_pair(0, 1));
+    }
+
+    #[test]
+    fn evict_preserves_cross_machine_links() {
+        let t = crate::Topology::dgx1_pair_ib();
+        let s = t.evict_gpus(&[0]);
+        assert_eq!(s.num_gpus(), 15);
+        assert_eq!(s.num_machines(), 2);
+        // New rank 7 is old rank 8 — first GPU of machine 1.
+        assert_eq!(s.machine_of(7), 1);
+        let r = s.route(0, 7);
+        assert!(!r.hops.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no GPU")]
+    fn evicting_everyone_panics() {
+        let t = two_gpu_line();
+        let _ = t.evict_gpus(&[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn evicting_unknown_rank_panics() {
+        let t = two_gpu_line();
+        let _ = t.evict_gpus(&[9]);
     }
 
     #[test]
