@@ -20,7 +20,8 @@ pub fn run(ctx: &mut RunContext) {
             let parts = kway(&graph, gpus, ctx.seed);
             let mut row = vec![gpus.to_string()];
             for hops in 1..=3usize {
-                let f = replication_factor(&graph, &parts, gpus, hops);
+                let f = replication_factor(&graph, &parts, gpus, hops)
+                    .expect("kway partition is well formed");
                 row.push(format!("{f:.2}"));
             }
             rows.push(row);

@@ -23,6 +23,8 @@
 //! | `collectives` | (extra) | allreduce algorithm zoo: autotuned choice vs per-size best/worst |
 //! | `cagnet` | (extra) | backend crossover: planned gather vs CAGNET block SpMM, selector verdicts |
 //! | `recovery` | (extra) | elastic recovery: warm replan vs cold plan, epochs lost per crash |
+//! | `sampling` | (extra) | mini-batch sampled training vs full-batch, with model volume ratios |
+//! | `serving` | (extra) | batched vs unbatched inference serving under open-loop load |
 
 mod ablation;
 mod cagnet;
@@ -36,6 +38,8 @@ mod fig7;
 mod fig89;
 mod overlap;
 mod recovery;
+mod sampling;
+mod serving;
 mod table1;
 mod table2;
 mod table3;
@@ -70,6 +74,8 @@ pub const ALL: &[&str] = &[
     "collectives",
     "cagnet",
     "recovery",
+    "sampling",
+    "serving",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -96,6 +102,8 @@ pub fn run(id: &str, ctx: &mut RunContext) -> bool {
         "collectives" => collectives::run(ctx),
         "cagnet" => cagnet::run(ctx),
         "recovery" => recovery::run(ctx),
+        "sampling" => sampling::run(ctx),
+        "serving" => serving::run(ctx),
         _ => return false,
     }
     true

@@ -122,10 +122,15 @@ impl Checkpoint {
             losses.push(f32::from_bits(r.u32()?));
         }
         let num_layers = r.u64()? as usize;
-        let mut params = Vec::with_capacity(num_layers.min(r.remaining()));
+        // Clamp every pre-reservation to what the payload could possibly
+        // hold (each layer encodes at least its 8-byte param count, each
+        // matrix at least its 16-byte dims): a corrupt header claiming
+        // billions of entries must not drive a huge allocation before the
+        // reads behind it fail.
+        let mut params = Vec::with_capacity(num_layers.min(r.remaining() / 8));
         for _ in 0..num_layers {
             let num_params = r.u64()? as usize;
-            let mut layer = Vec::with_capacity(num_params.min(r.remaining()));
+            let mut layer = Vec::with_capacity(num_params.min(r.remaining() / 16));
             for _ in 0..num_params {
                 let rows = r.u64()? as usize;
                 let cols = r.u64()? as usize;
@@ -347,6 +352,45 @@ mod tests {
         let dim_at = MAGIC.len() + 8 + 8 + 3 * 4 + 8 + 8;
         flipped[dim_at..dim_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(Checkpoint::deserialize(&flipped).is_err());
+    }
+
+    #[test]
+    fn huge_count_fields_do_not_drive_allocation() {
+        // A corrupt header can claim u64::MAX layers / params / losses.
+        // Every pre-reservation must be clamped to what the remaining
+        // payload could hold; the parse then fails on truncation instead
+        // of aborting on a multi-GiB `Vec::with_capacity`.
+        let c = sample();
+        let bytes = c.serialize();
+        let layers_at = MAGIC.len() + 8 + 8 + 3 * 4; // after losses
+        let params_at = layers_at + 8;
+        let losses_at = MAGIC.len() + 8;
+        let epochs_at = MAGIC.len();
+        for at in [losses_at, layers_at, params_at] {
+            let mut corrupt = bytes.clone();
+            corrupt[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            assert!(Checkpoint::deserialize(&corrupt).is_err(), "offset {at}");
+        }
+        // Huge loss count paired with a matching huge epoch count (the
+        // equality check would otherwise reject it before the clamp).
+        let mut corrupt = bytes.clone();
+        corrupt[epochs_at..epochs_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        corrupt[losses_at..losses_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Checkpoint::deserialize(&corrupt).is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_an_error() {
+        // Cutting the payload at any point must yield CorruptCheckpoint,
+        // never a panic or a bogus success.
+        let bytes = sample().serialize();
+        for cut in 0..bytes.len() {
+            assert!(
+                Checkpoint::deserialize(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+        assert!(Checkpoint::deserialize(&bytes).is_ok());
     }
 
     #[test]

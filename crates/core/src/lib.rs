@@ -69,7 +69,9 @@ pub mod overlap;
 pub mod pipeline;
 pub mod recovery;
 pub mod runtime;
+pub mod sampling;
 pub mod schedule;
+pub mod serving;
 pub mod trainer;
 
 pub use backend::{backend_for, BackendPolicy, CagnetBackend, CommBackend, PlannedBackend};
@@ -89,3 +91,5 @@ pub use overlap::{OverlapWorker, Pending};
 pub use pipeline::PipelineSchedule;
 pub use recovery::{train_elastic, ElasticReport, RecoveryConfig, RecoveryEvent, ResumePolicy};
 pub use runtime::{run_cluster, run_cluster_with, DeviceHandle, ExecStrategy};
+pub use sampling::{GatherPlan, SamplingConfig};
+pub use serving::{InferenceServer, ServedFuture, ServedReply, ServingConfig};

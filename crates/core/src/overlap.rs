@@ -55,6 +55,13 @@ enum Job {
         local: Matrix,
         reply: Sender<Result<Matrix, RuntimeError>>,
     },
+    /// Batch row exchange (sampled trainer's feature prefetch) under a
+    /// pre-assigned op id.
+    Exchange {
+        op: u64,
+        plan: crate::sampling::GatherPlan,
+        reply: Sender<Result<Matrix, RuntimeError>>,
+    },
     /// Drain and exit.
     Shutdown,
 }
@@ -154,6 +161,11 @@ impl OverlapWorker {
                         fabric.recycle(local.into_vec());
                         let _ = reply.send(r);
                     }
+                    Job::Exchange { op, plan, reply } => {
+                        let r = crate::sampling::execute_gather(&fabric, rank, op, &plan);
+                        poison_own(&fabric, rank, &r);
+                        let _ = reply.send(r);
+                    }
                     Job::Shutdown => break,
                 }
             }
@@ -188,6 +200,18 @@ impl OverlapWorker {
         let (reply, rx) = channel();
         self.send(Job::Allgather { op, local, reply })?;
         Ok(self.pending(rx, "allgather"))
+    }
+
+    /// Enqueues a batch row exchange under `op` (assigned by the main
+    /// thread's `begin_op`, so keys agree across ranks).
+    pub(crate) fn submit_exchange(
+        &self,
+        op: u64,
+        plan: crate::sampling::GatherPlan,
+    ) -> Result<Pending<Matrix>, RuntimeError> {
+        let (reply, rx) = channel();
+        self.send(Job::Exchange { op, plan, reply })?;
+        Ok(self.pending(rx, "exchange"))
     }
 
     fn send(&self, job: Job) -> Result<(), RuntimeError> {

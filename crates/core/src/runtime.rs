@@ -750,6 +750,65 @@ impl<'a> DeviceHandle<'a> {
         self.poison_on_err(r)
     }
 
+    /// Assembles the full value matrix for a batch row list from its
+    /// per-rank owners, inline on the calling thread: the mini-batch
+    /// analogue of the graph allgather, used by the sampled trainer's
+    /// feature fetch and inter-layer reassembly.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`] from the underlying exchange; an error
+    /// originated here also poisons the fabric.
+    pub fn exchange_rows(
+        &self,
+        plan: &crate::sampling::GatherPlan,
+    ) -> Result<Matrix, RuntimeError> {
+        let r = self
+            .begin_op()
+            .and_then(|op| crate::sampling::execute_gather(&self.fabric, self.rank, op, plan));
+        self.poison_on_err(r)
+    }
+
+    /// Reduces per-row gradient contributions back to the rows' owners
+    /// (the adjoint of [`DeviceHandle::exchange_rows`]): every rank
+    /// contributes a dense gradient over `rows`, each owner receives and
+    /// sums its slices in ascending rank order, and this rank's reduced
+    /// owned rows come back.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeviceHandle::exchange_rows`].
+    pub fn reduce_rows(
+        &self,
+        contrib: &Matrix,
+        rows: &[VertexId],
+        partition: &[u32],
+    ) -> Result<Matrix, RuntimeError> {
+        let r = self.begin_op().and_then(|op| {
+            crate::sampling::execute_reduce(&self.fabric, self.rank, op, contrib, rows, partition)
+        });
+        self.poison_on_err(r)
+    }
+
+    /// Submits a batch row exchange to `worker` and returns immediately
+    /// — the sampled trainer prefetches the next batch's feature rows
+    /// this way while the current batch computes. The op id is assigned
+    /// here, in program order, like every other submission.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeviceHandle::submit_allreduce`].
+    pub fn submit_exchange(
+        &self,
+        worker: &OverlapWorker,
+        plan: crate::sampling::GatherPlan,
+    ) -> Result<Pending<Matrix>, RuntimeError> {
+        let r = self
+            .begin_op()
+            .and_then(|op| worker.submit_exchange(op, plan));
+        self.poison_on_err(r)
+    }
+
     /// Blocks on a background collective submitted earlier, poisoning
     /// the fabric if the wait itself fails (the worker already poisoned
     /// for errors it originated).

@@ -1,0 +1,665 @@
+//! Mini-batch sampled training: distributed execution of the
+//! [`dgcl_graph::sample`] block chain.
+//!
+//! Full-batch training moves every remote embedding every epoch; sampled
+//! training (DistDGL, PAPERS.md) moves only the rows a batch's fanout-
+//! bounded blocks actually reference. The pieces here:
+//!
+//! * [`SamplingConfig`] — batch size, per-layer fanouts, seed, prefetch.
+//! * [`GatherPlan`] + row exchange executors — the batch-sized analogue
+//!   of the graph allgather: every rank contributes the block rows it
+//!   owns and assembles the full per-batch source matrix (forward), or
+//!   reduces per-row gradient contributions back to the owners
+//!   (backward). Both run over the raw fabric with op-aligned keys, so
+//!   they compose with the poison protocol and the fault injector.
+//! * Device bodies called by the trainer: the **block path** (finite
+//!   fanouts, compact per-batch compute, optional [`OverlapWorker`]
+//!   prefetch of batch `k+1`'s features while batch `k` computes) and
+//!   the **exact path** (all fanouts ∞): full-neighborhood forward with
+//!   the loss masked to the batch. With one batch covering every vertex
+//!   the exact path is *bitwise identical* to full-batch training — the
+//!   parity criterion the test suite enforces.
+//!
+//! Determinism: samples are pure functions of `(seed, epoch, batch)`, so
+//! every rank reconstructs every peer's blocks without communication;
+//! row exchanges assemble and reduce in ascending rank order; and resumed
+//! runs replay the same batches from the checkpoint epoch.
+
+use dgcl_gnn::AggKind;
+use dgcl_graph::khop::GraphError;
+use dgcl_graph::sample::{round_seed, sample_blocks, seed_batches, LayerBlock};
+use dgcl_graph::{CsrGraph, VertexId};
+use dgcl_tensor::Matrix;
+
+use crate::backend::CommBackend;
+use crate::error::RuntimeError;
+use crate::fabric::{expect_payload, Fabric, MsgKey};
+use crate::overlap::Pending;
+use crate::runtime::DeviceHandle;
+use crate::trainer::{EpochCtx, TrainConfig};
+
+/// How the trainer samples mini-batches. Attach to
+/// [`TrainConfig::sampling`] to switch the distributed trainer from
+/// full-batch epochs to sampled mini-batch epochs.
+#[derive(Debug, Clone)]
+pub struct SamplingConfig {
+    /// Seeds per mini-batch; `0` means one batch of the whole seed set.
+    pub batch_size: usize,
+    /// Per-layer fanout, input-closest layer first; `None` = ∞ (the
+    /// full neighborhood). Length must equal the network's layer count.
+    pub fanouts: Vec<Option<usize>>,
+    /// Seed for batch shuffling and neighbor draws; identical across
+    /// ranks by construction (it lives in the shared config).
+    pub seed: u64,
+    /// Prefetch the next batch's input-layer feature rows on the
+    /// [`crate::OverlapWorker`] while the current batch computes
+    /// (block path only).
+    pub prefetch: bool,
+    /// The training seed set; `None` means every vertex. Out-of-range
+    /// ids surface as a typed [`RuntimeError::Protocol`] through
+    /// `run_cluster`, never as a rank-thread abort.
+    pub train_vertices: Option<Vec<VertexId>>,
+}
+
+impl SamplingConfig {
+    /// A sampled config with the given batch size and per-layer fanouts,
+    /// a fixed seed and prefetch enabled.
+    pub fn new(batch_size: usize, fanouts: Vec<Option<usize>>) -> Self {
+        Self {
+            batch_size,
+            fanouts,
+            seed: 0x5EED,
+            prefetch: true,
+            train_vertices: None,
+        }
+    }
+
+    /// An exact (fanout = ∞ on every layer) config: mini-batched in the
+    /// loss only, reproducing full-batch numerics when one batch covers
+    /// the whole seed set.
+    pub fn exact(batch_size: usize, layers: usize) -> Self {
+        Self::new(batch_size, vec![None; layers])
+    }
+
+    /// Whether every fanout is ∞ (routes to the exact masked path).
+    pub(crate) fn is_exact(&self) -> bool {
+        self.fanouts.iter().all(Option::is_none)
+    }
+}
+
+/// Maps a sampler [`GraphError`] onto the runtime's typed error space so
+/// a bad batch unwinds through the poison protocol like any other
+/// protocol violation.
+pub(crate) fn graph_err(rank: usize, e: &GraphError) -> RuntimeError {
+    RuntimeError::Protocol {
+        rank,
+        detail: format!("sampler: {e}"),
+    }
+}
+
+/// One rank's view of a batch row exchange: assemble the matrix for a
+/// sorted global row list from the per-rank owners. Every rank builds
+/// the same structure from the shared block chain and partition, so the
+/// sends and receives pair up without negotiation.
+#[derive(Debug)]
+pub struct GatherPlan {
+    out_rows: usize,
+    cols: usize,
+    /// This rank's contribution: its owned rows, ascending global order.
+    own: Matrix,
+    /// Output positions of the owned rows.
+    own_pos: Vec<usize>,
+    /// Ascending peer ranks owning ≥ 1 row, with their output positions.
+    peers: Vec<(usize, Vec<usize>)>,
+}
+
+impl GatherPlan {
+    /// Builds the plan for assembling `rows` (sorted global ids).
+    /// `have` lists the global ids backing `values`' rows (ascending);
+    /// it must contain every row of `rows` this rank owns.
+    pub fn build(
+        rows: &[VertexId],
+        partition: &[u32],
+        num_parts: usize,
+        rank: usize,
+        have: &[VertexId],
+        values: &Matrix,
+    ) -> Self {
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); num_parts];
+        for (i, &v) in rows.iter().enumerate() {
+            positions[partition[v as usize] as usize].push(i);
+        }
+        let own_pos = std::mem::take(&mut positions[rank]);
+        let own_idx: Vec<usize> = own_pos
+            .iter()
+            .map(|&p| have.binary_search(&rows[p]).expect("owner holds its rows"))
+            .collect();
+        let own = values.gather_rows(&own_idx);
+        let peers: Vec<(usize, Vec<usize>)> = positions
+            .into_iter()
+            .enumerate()
+            .filter(|(p, pos)| *p != rank && !pos.is_empty())
+            .collect();
+        Self {
+            out_rows: rows.len(),
+            cols: values.cols(),
+            own,
+            own_pos,
+            peers,
+        }
+    }
+}
+
+/// Adds `m` into `acc` row-wise (shapes must match).
+fn add_into(acc: &mut Matrix, m: &Matrix) {
+    for r in 0..acc.rows() {
+        for (a, &b) in acc.row_mut(r).iter_mut().zip(m.row(r)) {
+            *a += b;
+        }
+    }
+}
+
+/// Executes a [`GatherPlan`] under a pre-assigned op: posts this rank's
+/// owned rows to every peer, then assembles the full matrix from its own
+/// rows plus each contributing peer's, receives drained in ascending
+/// rank order. Runs on the main thread or on the [`crate::OverlapWorker`]
+/// (prefetch) — op-tagged keys keep the two from colliding.
+pub(crate) fn execute_gather(
+    fabric: &Fabric,
+    rank: usize,
+    op: u64,
+    plan: &GatherPlan,
+) -> Result<Matrix, RuntimeError> {
+    let key: MsgKey = (op, 0, 0, 0);
+    if !plan.own_pos.is_empty() {
+        for peer in 0..fabric.num_devices() {
+            if peer == rank {
+                continue;
+            }
+            fabric.wait_ready(peer, op, rank)?;
+            fabric.send(rank, peer, key, plan.own.as_slice().to_vec())?;
+        }
+    }
+    let mut out = Matrix::zeros(plan.out_rows, plan.cols);
+    for (i, &p) in plan.own_pos.iter().enumerate() {
+        out.set_row(p, plan.own.row(i));
+    }
+    for (peer, pos) in &plan.peers {
+        let payload = fabric.recv(*peer, rank, key)?;
+        expect_payload(rank, payload.len(), pos.len() * plan.cols, key)?;
+        let m = Matrix::from_vec(pos.len(), plan.cols, payload);
+        for (i, &p) in pos.iter().enumerate() {
+            out.set_row(p, m.row(i));
+        }
+    }
+    Ok(out)
+}
+
+/// The adjoint of [`execute_gather`]: every rank holds a dense gradient
+/// contribution over all of `rows`; each owner receives and sums the
+/// slices for its rows, in ascending rank order (this rank's own slice
+/// folded at its rank position), so the reduction is deterministic.
+/// Returns this rank's reduced rows (its owned subset of `rows`,
+/// ascending).
+pub(crate) fn execute_reduce(
+    fabric: &Fabric,
+    rank: usize,
+    op: u64,
+    contrib: &Matrix,
+    rows: &[VertexId],
+    partition: &[u32],
+) -> Result<Matrix, RuntimeError> {
+    debug_assert_eq!(contrib.rows(), rows.len());
+    let key: MsgKey = (op, 0, 0, 0);
+    let num_parts = fabric.num_devices();
+    let cols = contrib.cols();
+    let mut positions: Vec<Vec<usize>> = vec![Vec::new(); num_parts];
+    for (i, &v) in rows.iter().enumerate() {
+        positions[partition[v as usize] as usize].push(i);
+    }
+    for (peer, pos) in positions.iter().enumerate() {
+        if peer == rank || pos.is_empty() {
+            continue;
+        }
+        let slice = contrib.gather_rows(pos);
+        fabric.wait_ready(peer, op, rank)?;
+        fabric.send(rank, peer, key, slice.into_vec())?;
+    }
+    let own_pos = &positions[rank];
+    let mut out = Matrix::zeros(own_pos.len(), cols);
+    for peer in 0..num_parts {
+        if peer == rank {
+            add_into(&mut out, &contrib.gather_rows(own_pos));
+        } else if !own_pos.is_empty() {
+            let payload = fabric.recv(peer, rank, key)?;
+            expect_payload(rank, payload.len(), own_pos.len() * cols, key)?;
+            add_into(&mut out, &Matrix::from_vec(own_pos.len(), cols, payload));
+        }
+    }
+    Ok(out)
+}
+
+/// Aggregates the sampled neighborhoods of this rank's block rows from
+/// the assembled source matrix: the mini-batch analogue of
+/// [`dgcl_gnn::aggregate::aggregate_sum`] / `aggregate_mean`, with the
+/// *sampled* degree as the mean divisor (degree 1 is left undivided,
+/// mirroring the full-graph kernel).
+pub(crate) fn block_aggregate(
+    block: &LayerBlock,
+    rows_mine: &[usize],
+    h_src: &Matrix,
+    kind: AggKind,
+) -> Matrix {
+    let cols = h_src.cols();
+    let mut out = Matrix::zeros(rows_mine.len(), cols);
+    for (j, &i) in rows_mine.iter().enumerate() {
+        let targets = block.row(i);
+        let row = out.row_mut(j);
+        for &t in targets {
+            for (o, &x) in row.iter_mut().zip(h_src.row(t as usize)) {
+                *o += x;
+            }
+        }
+        if kind == AggKind::Mean && targets.len() > 1 {
+            let inv = 1.0 / targets.len() as f32;
+            for o in row.iter_mut() {
+                *o *= inv;
+            }
+        }
+    }
+    out
+}
+
+/// The adjoint of [`block_aggregate`]: scatters this rank's aggregate
+/// gradients back over the block edges into a dense gradient over the
+/// full source set (zeros elsewhere), ready for [`execute_reduce`].
+pub(crate) fn block_scatter_grad(
+    block: &LayerBlock,
+    rows_mine: &[usize],
+    grad_agg: &Matrix,
+    kind: AggKind,
+) -> Matrix {
+    let cols = grad_agg.cols();
+    let mut out = Matrix::zeros(block.num_src(), cols);
+    for (j, &i) in rows_mine.iter().enumerate() {
+        let targets = block.row(i);
+        let scale = if kind == AggKind::Mean && targets.len() > 1 {
+            1.0 / targets.len() as f32
+        } else {
+            1.0
+        };
+        for &t in targets {
+            for (o, &g) in out.row_mut(t as usize).iter_mut().zip(grad_agg.row(j)) {
+                *o += scale * g;
+            }
+        }
+    }
+    out
+}
+
+/// The training seed set: the configured subset, or every vertex.
+fn train_set(scfg: &SamplingConfig, graph: &CsrGraph) -> Vec<VertexId> {
+    match &scfg.train_vertices {
+        Some(v) => v.clone(),
+        None => (0..graph.num_vertices() as VertexId).collect(),
+    }
+}
+
+/// The barriered full-graph forward shared by both sampled bodies' final
+/// inference pass (and the exact path's per-batch forward): per layer,
+/// the backend's aggregate exchange then the local layer.
+fn full_forward(
+    handle: &DeviceHandle<'_>,
+    net: &mut dgcl_gnn::GnnNetwork,
+    backend: &dyn CommBackend,
+    kind: AggKind,
+    features: &Matrix,
+) -> Result<Matrix, RuntimeError> {
+    let mut h = features.clone();
+    for layer in net.layers_mut() {
+        let agg = backend.agg_forward(handle, &h, kind)?;
+        h = layer.forward_agg(&h, agg);
+    }
+    Ok(h)
+}
+
+/// Allreduces parameter gradients plus the scalar batch loss, applies
+/// the summed gradients and steps — the per-batch tail shared by both
+/// sampled bodies (identical to the full-batch epoch tail).
+fn reduce_and_step(
+    handle: &DeviceHandle<'_>,
+    net: &mut dgcl_gnn::GnnNetwork,
+    lr: f32,
+    local_loss: f32,
+) -> Result<f32, RuntimeError> {
+    let mut mats: Vec<Matrix> = net
+        .layers()
+        .iter()
+        .flat_map(|l| l.gradients().into_iter().cloned())
+        .collect();
+    mats.push(Matrix::full(1, 1, local_loss));
+    let reduced = handle.allreduce(mats)?;
+    let (loss_mat, grads) = reduced.split_last().expect("loss entry present");
+    let mut cursor = 0;
+    for layer in net.layers_mut() {
+        let count = layer.gradients().len();
+        layer.set_gradients(&grads[cursor..cursor + count]);
+        cursor += count;
+    }
+    net.step(lr);
+    Ok(loss_mat[(0, 0)])
+}
+
+/// The block path: finite fanouts, compact per-batch blocks, row
+/// exchanges between layers, gradient row reductions on the way back,
+/// and (when configured) the next batch's feature gather prefetched on
+/// the overlap worker.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn device_body_sampled(
+    handle: &DeviceHandle<'_>,
+    cfg: &TrainConfig,
+    ctx: &EpochCtx<'_>,
+    net0: &dgcl_gnn::GnnNetwork,
+    scfg: &SamplingConfig,
+    graph: &CsrGraph,
+    backend: &dyn CommBackend,
+    per_device_features: &[Matrix],
+    per_device_targets: &[Matrix],
+) -> Result<(Vec<f32>, Matrix), RuntimeError> {
+    let rank = handle.rank;
+    let info = handle.comm_info();
+    let partition: &[u32] = &info.pg.partition;
+    let num_parts = info.pg.num_parts;
+    let owned: &[VertexId] = &info.pg.local[rank];
+    let agg_kind = cfg.arch.agg_kind();
+    let mut net = net0.clone();
+    let num_layers = net.num_layers();
+    let seeds = train_set(scfg, graph);
+    let worker = scfg.prefetch.then(|| handle.overlap_worker());
+    let mut losses = Vec::with_capacity(ctx.end_epoch - ctx.start_epoch);
+    // Blocks + pending feature gather for the *next* batch, posted while
+    // the current batch computes.
+    let mut prefetched: Option<(Vec<LayerBlock>, Pending<Matrix>)> = None;
+    for epoch in ctx.start_epoch..ctx.end_epoch {
+        handle.check_epoch_fault(epoch)?;
+        let batches = seed_batches(&seeds, scfg.batch_size, scfg.seed, epoch);
+        let mut epoch_loss = 0.0f32;
+        for (bi, batch) in batches.iter().enumerate() {
+            let (blocks, mut h) = match prefetched.take() {
+                Some((blocks, pending)) => (blocks, handle.wait_pending(pending)?),
+                None => {
+                    let blocks = handle.poison_on_err(
+                        sample_blocks(
+                            graph,
+                            batch,
+                            &scfg.fanouts,
+                            round_seed(scfg.seed, epoch, bi),
+                        )
+                        .map_err(|e| graph_err(rank, &e)),
+                    )?;
+                    let plan = GatherPlan::build(
+                        &blocks[0].src,
+                        partition,
+                        num_parts,
+                        rank,
+                        owned,
+                        &per_device_features[rank],
+                    );
+                    let h = backend.fetch_rows(handle, &plan)?;
+                    (blocks, h)
+                }
+            };
+            if let Some(w) = &worker {
+                if bi + 1 < batches.len() {
+                    let next = handle.poison_on_err(
+                        sample_blocks(
+                            graph,
+                            &batches[bi + 1],
+                            &scfg.fanouts,
+                            round_seed(scfg.seed, epoch, bi + 1),
+                        )
+                        .map_err(|e| graph_err(rank, &e)),
+                    )?;
+                    let plan = GatherPlan::build(
+                        &next[0].src,
+                        partition,
+                        num_parts,
+                        rank,
+                        owned,
+                        &per_device_features[rank],
+                    );
+                    let pending = handle.submit_exchange(w, plan)?;
+                    prefetched = Some((next, pending));
+                }
+            }
+            // Forward: each rank computes only the block rows it owns;
+            // between layers the owners' outputs reassemble into the next
+            // block's full source matrix.
+            let mut rows_mine_per_layer: Vec<Vec<usize>> = Vec::with_capacity(num_layers);
+            for (l, block) in blocks.iter().enumerate().take(num_layers) {
+                let rows_mine: Vec<usize> = (0..block.num_dst())
+                    .filter(|&i| partition[block.dst[i] as usize] as usize == rank)
+                    .collect();
+                let self_pos: Vec<usize> = rows_mine
+                    .iter()
+                    .map(|&i| block.dst_pos[i] as usize)
+                    .collect();
+                let h_self = h.gather_rows(&self_pos);
+                let agg = block_aggregate(block, &rows_mine, &h, agg_kind);
+                let h_mine = net.layers_mut()[l].forward_agg(&h_self, agg);
+                if l + 1 < num_layers {
+                    let my_dst: Vec<VertexId> = rows_mine.iter().map(|&i| block.dst[i]).collect();
+                    let plan =
+                        GatherPlan::build(&block.dst, partition, num_parts, rank, &my_dst, &h_mine);
+                    h = backend.fetch_rows(handle, &plan)?;
+                } else {
+                    h = h_mine;
+                }
+                rows_mine_per_layer.push(rows_mine);
+            }
+            // Loss over this rank's batch rows. mse is a *sum*, so batch
+            // losses add across ranks and across batches.
+            let final_block = blocks.last().expect("at least one layer");
+            let target_rows: Vec<usize> = rows_mine_per_layer[num_layers - 1]
+                .iter()
+                .map(|&i| {
+                    owned
+                        .binary_search(&final_block.dst[i])
+                        .expect("dst row is owned")
+                })
+                .collect();
+            let tgt = per_device_targets[rank].gather_rows(&target_rows);
+            let diff = h.sub(&tgt);
+            let local_loss = 0.5 * diff.norm_sq();
+            // Backward: scatter aggregate gradients over the block edges,
+            // reduce rows to their owners, fold the self-path locally.
+            let mut grad = diff;
+            for l in (0..num_layers).rev() {
+                let block = &blocks[l];
+                let rows_mine = &rows_mine_per_layer[l];
+                let (grad_agg, direct) = net.layers_mut()[l].backward_agg(&grad);
+                let mut grad_src = block_scatter_grad(block, rows_mine, &grad_agg, agg_kind);
+                if let Some(direct) = direct {
+                    for (j, &i) in rows_mine.iter().enumerate() {
+                        let p = block.dst_pos[i] as usize;
+                        for (o, &g) in grad_src.row_mut(p).iter_mut().zip(direct.row(j)) {
+                            *o += g;
+                        }
+                    }
+                }
+                if l > 0 {
+                    // Owners of this block's source rows (= the previous
+                    // block's destination rows) collect their gradients.
+                    grad = backend.push_rows(handle, &grad_src, &block.src, partition)?;
+                }
+            }
+            epoch_loss += reduce_and_step(handle, &mut net, cfg.lr, local_loss)?;
+        }
+        losses.push(epoch_loss);
+        ctx.publish(rank, &net, &losses);
+    }
+    let out = full_forward(
+        handle,
+        &mut net,
+        backend,
+        agg_kind,
+        &per_device_features[rank],
+    )?;
+    Ok((losses, out))
+}
+
+/// The exact path (every fanout ∞): full-neighborhood forward with the
+/// loss and its gradient masked to the batch rows. With a single batch
+/// covering every seed this is instruction-for-instruction the
+/// full-batch barriered epoch — the bitwise parity anchor for the
+/// sampled pipeline.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn device_body_masked(
+    handle: &DeviceHandle<'_>,
+    cfg: &TrainConfig,
+    ctx: &EpochCtx<'_>,
+    net0: &dgcl_gnn::GnnNetwork,
+    scfg: &SamplingConfig,
+    graph: &CsrGraph,
+    backend: &dyn CommBackend,
+    per_device_features: &[Matrix],
+    per_device_targets: &[Matrix],
+) -> Result<(Vec<f32>, Matrix), RuntimeError> {
+    let rank = handle.rank;
+    let owned: &[VertexId] = &handle.comm_info().pg.local[rank];
+    let agg_kind = cfg.arch.agg_kind();
+    let mut net = net0.clone();
+    let seeds = train_set(scfg, graph);
+    if let Some(&bad) = seeds
+        .iter()
+        .find(|&&v| (v as usize) >= graph.num_vertices())
+    {
+        let e = GraphError::SeedOutOfRange {
+            seed: bad,
+            num_vertices: graph.num_vertices(),
+        };
+        return handle.poison_on_err(Err(graph_err(rank, &e)));
+    }
+    let mut losses = Vec::with_capacity(ctx.end_epoch - ctx.start_epoch);
+    for epoch in ctx.start_epoch..ctx.end_epoch {
+        handle.check_epoch_fault(epoch)?;
+        let batches = seed_batches(&seeds, scfg.batch_size, scfg.seed, epoch);
+        let mut epoch_loss = 0.0f32;
+        for batch in &batches {
+            let out = full_forward(
+                handle,
+                &mut net,
+                backend,
+                agg_kind,
+                &per_device_features[rank],
+            )?;
+            // Masked sum-squared loss: diff rows outside the batch are
+            // zeroed *before* the norm, so with a full mask this is
+            // exactly `mse_loss` (same element order, same single
+            // accumulator) and bitwise parity follows.
+            let mut batch_sorted = batch.clone();
+            batch_sorted.sort_unstable();
+            let mut diff = out.sub(&per_device_targets[rank]);
+            for (j, &v) in owned.iter().enumerate() {
+                if batch_sorted.binary_search(&v).is_err() {
+                    for x in diff.row_mut(j) {
+                        *x = 0.0;
+                    }
+                }
+            }
+            let local_loss = 0.5 * diff.norm_sq();
+            let mut grad = diff;
+            for layer in net.layers_mut().iter_mut().rev() {
+                let (grad_agg, direct) = layer.backward_agg(&grad);
+                let back = backend.agg_backward(handle, &grad_agg, agg_kind)?;
+                grad = crate::trainer::fold_direct(back, direct);
+            }
+            epoch_loss += reduce_and_step(handle, &mut net, cfg.lr, local_loss)?;
+        }
+        losses.push(epoch_loss);
+        ctx.publish(rank, &net, &losses);
+    }
+    let out = full_forward(
+        handle,
+        &mut net,
+        backend,
+        agg_kind,
+        &per_device_features[rank],
+    )?;
+    Ok((losses, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgcl_graph::sample::build_block;
+    use dgcl_graph::GraphBuilder;
+
+    fn path5() -> CsrGraph {
+        let mut b = GraphBuilder::new(5);
+        for v in 0..4 {
+            b.add_edge(v, v + 1);
+        }
+        b.build_symmetric()
+    }
+
+    #[test]
+    fn block_aggregate_matches_full_kernel_on_full_fanout() {
+        // With fanout ∞ over all vertices, the block kernel must agree
+        // with the full-graph aggregate (same neighbor order).
+        let g = path5();
+        let h = Matrix::from_vec(
+            5,
+            2,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+        );
+        let block = build_block(&g, &[0, 1, 2, 3, 4], None, 0, 0).unwrap();
+        let all: Vec<usize> = (0..5).collect();
+        for kind in [AggKind::Sum, AggKind::Mean] {
+            let full = match kind {
+                AggKind::Sum => dgcl_gnn::aggregate::aggregate_sum(&g, &h, 5),
+                AggKind::Mean => dgcl_gnn::aggregate::aggregate_mean(&g, &h, 5),
+            };
+            let sampled = block_aggregate(&block, &all, &h, kind);
+            assert_eq!(full.max_abs_diff(&sampled), 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn scatter_is_the_adjoint_of_aggregate() {
+        // <agg(h), g> == <h, scatter(g)> for sum and mean alike.
+        let g = path5();
+        let block = build_block(&g, &[1, 3], Some(2), 7, 0).unwrap();
+        let h = Matrix::from_vec(
+            block.num_src(),
+            2,
+            (0..block.num_src() * 2)
+                .map(|i| i as f32 * 0.3 + 1.0)
+                .collect(),
+        );
+        let grad = Matrix::from_vec(2, 2, vec![0.5, -1.0, 2.0, 0.25]);
+        for kind in [AggKind::Sum, AggKind::Mean] {
+            let agg = block_aggregate(&block, &[0, 1], &h, kind);
+            let scat = block_scatter_grad(&block, &[0, 1], &grad, kind);
+            let lhs: f32 = agg
+                .as_slice()
+                .iter()
+                .zip(grad.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let rhs: f32 = h
+                .as_slice()
+                .iter()
+                .zip(scat.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            assert!((lhs - rhs).abs() < 1e-5, "{kind:?}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn exact_config_is_detected() {
+        assert!(SamplingConfig::exact(8, 2).is_exact());
+        assert!(!SamplingConfig::new(8, vec![None, Some(3)]).is_exact());
+    }
+}

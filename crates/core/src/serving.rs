@@ -1,0 +1,497 @@
+//! Batched forward-only inference serving.
+//!
+//! Training produces a model; serving answers *"what is vertex v's
+//! embedding under the current parameters?"* with low latency. The
+//! [`InferenceServer`] runs a single background worker that
+//! micro-batches concurrent requests: a request is answered either when
+//! [`ServingConfig::max_batch`] requests have queued (size trigger) or
+//! when the oldest queued request has waited
+//! [`ServingConfig::max_delay`] (deadline trigger), whichever comes
+//! first. Batching amortises the per-flush sparse k-hop expansion and
+//! the layer matmuls across requests, which is what lets the batched
+//! server sustain a higher QPS than a `max_batch = 1` server at the
+//! same per-request work (`BENCH_serving.json` measures both).
+//!
+//! Two properties keep the answers trustworthy:
+//!
+//! * **Bitwise parity with full inference.** A served embedding is
+//!   bitwise identical to the corresponding row of
+//!   [`GnnNetwork::forward`] over the whole graph. Layer 0 touches
+//!   every vertex's raw features, so its output is computed once at
+//!   spawn and cached; layers `1..L` are recomputed per flush over the
+//!   sparse k-hop input closure of the batch
+//!   ([`dgcl_graph::k_hop_closure_sparse`]), aggregating each vertex's
+//!   full neighbour list in adjacency order — the same element order
+//!   and `f32` accumulator as the full kernels in `dgcl_gnn`.
+//! * **Bounded staleness, explicit timing.** Every [`ServedReply`]
+//!   carries the flush's batch size and completion instant so load
+//!   drivers can attribute latency to queueing vs compute.
+//!
+//! The server is deliberately fabric-free: serving replicates the
+//! model and the (layer-0) embedding table, so a query never crosses a
+//! partition boundary. That mirrors the common deployment where
+//! training is distributed but each inference replica is standalone.
+
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dgcl_gnn::{AggKind, GnnNetwork};
+use dgcl_graph::{k_hop_closure_sparse, CsrGraph, GraphError, VertexId};
+use dgcl_tensor::Matrix;
+
+/// Micro-batching policy for an [`InferenceServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Flush as soon as this many requests are queued. `0` is treated
+    /// as `1` (every request flushes alone).
+    pub max_batch: usize,
+    /// Flush once the oldest queued request has waited this long, even
+    /// if the batch is not full.
+    pub max_delay: Duration,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+impl ServingConfig {
+    /// The unbatched baseline: every request is served alone,
+    /// immediately. The serving benchmark compares this against
+    /// micro-batched configurations.
+    pub fn unbatched() -> Self {
+        Self {
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// The answer to one inference request.
+#[derive(Debug, Clone)]
+pub struct ServedReply {
+    /// The queried vertex's output-layer embedding — bitwise identical
+    /// to its row of [`GnnNetwork::forward`] over the whole graph.
+    pub embedding: Vec<f32>,
+    /// How many requests shared the flush that produced this reply.
+    pub batch_size: usize,
+    /// When the flush completed (reply send time); subtract the
+    /// caller's enqueue instant for end-to-end latency.
+    pub completed: Instant,
+}
+
+/// A pending reply; redeem with [`ServedFuture::wait`].
+#[derive(Debug)]
+pub struct ServedFuture {
+    rx: Receiver<ServedReply>,
+}
+
+impl ServedFuture {
+    /// Blocks until the server answers. Returns `None` only if the
+    /// server shut down before serving this request.
+    pub fn wait(self) -> Option<ServedReply> {
+        self.rx.recv().ok()
+    }
+
+    /// Like [`ServedFuture::wait`] but gives up after `timeout`.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<ServedReply> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+enum Req {
+    Query {
+        v: VertexId,
+        reply: Sender<ServedReply>,
+    },
+    Shutdown,
+}
+
+/// A standalone batched inference server over a trained model.
+///
+/// Spawning precomputes the layer-0 output for every vertex (the only
+/// layer that reads raw features); each flush then recomputes layers
+/// `1..L` over the sparse input closure of the batched seeds. Dropping
+/// the server flushes the queue and joins the worker.
+pub struct InferenceServer {
+    tx: Sender<Req>,
+    join: Option<JoinHandle<()>>,
+    num_vertices: usize,
+}
+
+impl InferenceServer {
+    /// Starts a server for `net` over `graph` with raw vertex
+    /// `features`. The graph, model and cached layer-0 output are
+    /// cloned into the worker; later training steps on the caller's
+    /// copy do not affect replies (snapshot semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has fewer rows than the graph has vertices
+    /// or its width mismatches layer 0.
+    pub fn spawn(
+        graph: &CsrGraph,
+        features: &Matrix,
+        net: &GnnNetwork,
+        cfg: ServingConfig,
+    ) -> Self {
+        let n = graph.num_vertices();
+        assert!(features.rows() >= n, "feature rows cover every vertex");
+        let mut net = net.clone();
+        let graph = graph.clone();
+        // Layer 0 is the one layer that consumes raw features of every
+        // vertex; computing it once here is exactly the first step of
+        // GnnNetwork::forward, so cached rows are bitwise right.
+        let h1 = net.layers_mut()[0].forward(&graph, features, n);
+        let (tx, rx) = channel::<Req>();
+        let max_batch = cfg.max_batch.max(1);
+        let join = std::thread::spawn(move || {
+            serve_loop(&rx, &graph, &mut net, &h1, max_batch, cfg.max_delay);
+        });
+        Self {
+            tx,
+            join: Some(join),
+            num_vertices: n,
+        }
+    }
+
+    /// Enqueues a query for vertex `v`'s embedding.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SeedOutOfRange`] if `v` is not a vertex of the
+    /// served graph; the queue is not touched.
+    pub fn query(&self, v: VertexId) -> Result<ServedFuture, GraphError> {
+        if v as usize >= self.num_vertices {
+            return Err(GraphError::SeedOutOfRange {
+                seed: v,
+                num_vertices: self.num_vertices,
+            });
+        }
+        let (reply, rx) = channel();
+        // A dead worker is only possible after Drop began; the future
+        // then resolves to None via the dropped reply sender.
+        let _ = self.tx.send(Req::Query { v, reply });
+        Ok(ServedFuture { rx })
+    }
+
+    /// Number of vertices in the served graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Req::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+fn serve_loop(
+    rx: &Receiver<Req>,
+    graph: &CsrGraph,
+    net: &mut GnnNetwork,
+    h1: &Matrix,
+    max_batch: usize,
+    max_delay: Duration,
+) {
+    let mut queue: Vec<(VertexId, Sender<ServedReply>)> = Vec::new();
+    let mut oldest = Instant::now();
+    loop {
+        let msg = if queue.is_empty() {
+            match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => break,
+            }
+        } else {
+            let budget = max_delay.saturating_sub(oldest.elapsed());
+            match rx.recv_timeout(budget) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        };
+        match msg {
+            Some(Req::Query { v, reply }) => {
+                if queue.is_empty() {
+                    oldest = Instant::now();
+                }
+                queue.push((v, reply));
+                if queue.len() >= max_batch {
+                    flush(graph, net, h1, &mut queue);
+                }
+            }
+            Some(Req::Shutdown) => break,
+            // Deadline trigger: the oldest request has waited long
+            // enough; serve whatever is queued.
+            None => flush(graph, net, h1, &mut queue),
+        }
+    }
+    // Drain on shutdown so no ServedFuture hangs forever.
+    flush(graph, net, h1, &mut queue);
+}
+
+/// Serves every queued request in one batch and empties the queue.
+fn flush(
+    graph: &CsrGraph,
+    net: &mut GnnNetwork,
+    h1: &Matrix,
+    queue: &mut Vec<(VertexId, Sender<ServedReply>)>,
+) {
+    if queue.is_empty() {
+        return;
+    }
+    let mut seeds: Vec<VertexId> = queue.iter().map(|(v, _)| *v).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    let out = forward_tail(graph, net, h1, &seeds);
+    let batch_size = queue.len();
+    let completed = Instant::now();
+    for (v, reply) in queue.drain(..) {
+        let pos = seeds.binary_search(&v).expect("every query is a seed");
+        let _ = reply.send(ServedReply {
+            embedding: out.row(pos).to_vec(),
+            batch_size,
+            completed,
+        });
+    }
+}
+
+/// Runs layers `1..L` for `seeds` (sorted, deduped, in range) from the
+/// cached layer-0 output, over the sparse input closure of the batch.
+/// Row `i` of the result is bitwise identical to row `seeds[i]` of the
+/// full-graph forward.
+fn forward_tail(graph: &CsrGraph, net: &mut GnnNetwork, h1: &Matrix, seeds: &[VertexId]) -> Matrix {
+    let num_layers = net.num_layers();
+    let idx: Vec<usize> = seeds.iter().map(|&v| v as usize).collect();
+    if num_layers == 1 {
+        return h1.gather_rows(&idx);
+    }
+    // out_sets[l] (1 <= l < L): the vertices whose layer-l output the
+    // flush needs. Built top-down: the last layer needs the seeds, each
+    // earlier layer the 1-hop closure of its successor's needs.
+    let mut top_down: Vec<Vec<VertexId>> = Vec::with_capacity(num_layers - 1);
+    top_down.push(seeds.to_vec());
+    for _ in 2..num_layers {
+        let widened = k_hop_closure_sparse(graph, top_down.last().expect("seeded"), 1)
+            .expect("seeds validated at query time")
+            .into_visited();
+        top_down.push(widened);
+    }
+    let mut out_sets: Vec<Vec<VertexId>> = vec![Vec::new()]; // index 0 unused
+    out_sets.extend(top_down.into_iter().rev());
+    let mut in_set = k_hop_closure_sparse(graph, &out_sets[1], 1)
+        .expect("seeds validated at query time")
+        .into_visited();
+    let in_idx: Vec<usize> = in_set.iter().map(|&v| v as usize).collect();
+    let mut h = h1.gather_rows(&in_idx);
+    for (l, out_set) in out_sets.into_iter().enumerate().skip(1) {
+        let kind = net.layers()[l].arch().agg_kind();
+        let agg = tail_aggregate(graph, &h, &in_set, &out_set, kind);
+        let self_pos: Vec<usize> = out_set
+            .iter()
+            .map(|v| in_set.binary_search(v).expect("closure contains its core"))
+            .collect();
+        let h_self = h.gather_rows(&self_pos);
+        h = net.layers_mut()[l].forward_agg(&h_self, agg);
+        in_set = out_set;
+    }
+    h
+}
+
+/// Full-neighbourhood aggregation where the value matrix `h` holds only
+/// the rows of `in_set` (sorted global ids). `in_set` must 1-hop cover
+/// `out_set`. Sums each vertex's neighbour rows in adjacency order and
+/// divides by the full degree for [`AggKind::Mean`] — the same order
+/// and accumulator as `dgcl_gnn::aggregate::aggregate_sum`/`_mean`, so
+/// rows are bitwise identical to the full kernels.
+fn tail_aggregate(
+    graph: &CsrGraph,
+    h: &Matrix,
+    in_set: &[VertexId],
+    out_set: &[VertexId],
+    kind: AggKind,
+) -> Matrix {
+    let cols = h.cols();
+    let mut out = Matrix::zeros(out_set.len(), cols);
+    for (i, &v) in out_set.iter().enumerate() {
+        let row = out.row_mut(i);
+        for &u in graph.neighbors(v) {
+            let p = in_set
+                .binary_search(&u)
+                .expect("input closure covers the neighbourhood");
+            for (o, &x) in row.iter_mut().zip(h.row(p)) {
+                *o += x;
+            }
+        }
+        if kind == AggKind::Mean {
+            let deg = graph.out_degree(v);
+            if deg > 1 {
+                let inv = 1.0 / deg as f32;
+                for o in row {
+                    *o *= inv;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgcl_gnn::Architecture;
+    use dgcl_graph::Dataset;
+    use dgcl_tensor::XavierInit;
+
+    fn setup(arch: Architecture, dims: &[usize]) -> (CsrGraph, Matrix, GnnNetwork) {
+        let graph = Dataset::WikiTalk.generate(0.0005, 3);
+        let n = graph.num_vertices();
+        let mut init = XavierInit::new(17);
+        let features = init.features(n, dims[0]);
+        let net = GnnNetwork::new(arch, dims, 23);
+        (graph, features, net)
+    }
+
+    #[test]
+    fn served_rows_are_bitwise_full_forward_rows() {
+        for arch in [
+            Architecture::Gcn,
+            Architecture::CommNet,
+            Architecture::Gin,
+            Architecture::Sage,
+        ] {
+            let (graph, features, net) = setup(arch, &[6, 5, 3]);
+            let full = net.clone().forward(&graph, &features);
+            let server = InferenceServer::spawn(&graph, &features, &net, ServingConfig::default());
+            let n = graph.num_vertices();
+            let probes: Vec<VertexId> = (0..n as VertexId).step_by(37).collect();
+            let futures: Vec<(VertexId, ServedFuture)> = probes
+                .iter()
+                .map(|&v| (v, server.query(v).expect("in range")))
+                .collect();
+            for (v, fut) in futures {
+                let reply = fut.wait().expect("server alive");
+                assert_eq!(
+                    reply.embedding.as_slice(),
+                    full.row(v as usize),
+                    "{arch:?}: served row {v} differs from full forward"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_layer_nets_serve_from_the_cache() {
+        let (graph, features, net) = setup(Architecture::Gcn, &[6, 4]);
+        let full = net.clone().forward(&graph, &features);
+        let server = InferenceServer::spawn(&graph, &features, &net, ServingConfig::unbatched());
+        let reply = server.query(5).expect("in range").wait().expect("alive");
+        assert_eq!(reply.embedding.as_slice(), full.row(5));
+        assert_eq!(reply.batch_size, 1);
+    }
+
+    #[test]
+    fn size_trigger_batches_concurrent_requests() {
+        let (graph, features, net) = setup(Architecture::Gcn, &[6, 5, 3]);
+        let server = InferenceServer::spawn(
+            &graph,
+            &features,
+            &net,
+            ServingConfig {
+                max_batch: 4,
+                // Effectively never: only the size trigger can flush.
+                max_delay: Duration::from_secs(3600),
+            },
+        );
+        let futs: Vec<ServedFuture> = (0..4).map(|v| server.query(v).expect("ok")).collect();
+        for fut in futs {
+            let reply = fut
+                .wait_timeout(Duration::from_secs(30))
+                .expect("size trigger fired");
+            assert_eq!(reply.batch_size, 4);
+        }
+    }
+
+    #[test]
+    fn deadline_trigger_serves_a_lone_request() {
+        let (graph, features, net) = setup(Architecture::Gcn, &[6, 5, 3]);
+        let server = InferenceServer::spawn(
+            &graph,
+            &features,
+            &net,
+            ServingConfig {
+                max_batch: 1024,
+                max_delay: Duration::from_millis(5),
+            },
+        );
+        let reply = server
+            .query(7)
+            .expect("ok")
+            .wait_timeout(Duration::from_secs(30))
+            .expect("deadline trigger fired");
+        assert_eq!(reply.batch_size, 1);
+    }
+
+    #[test]
+    fn out_of_range_query_is_a_typed_error() {
+        let (graph, features, net) = setup(Architecture::Gcn, &[6, 4]);
+        let server = InferenceServer::spawn(&graph, &features, &net, ServingConfig::default());
+        let n = graph.num_vertices();
+        let err = server.query(n as VertexId).expect_err("out of range");
+        assert!(matches!(err, GraphError::SeedOutOfRange { .. }));
+    }
+
+    #[test]
+    fn duplicate_queries_in_one_flush_each_get_a_reply() {
+        let (graph, features, net) = setup(Architecture::Gcn, &[6, 5, 3]);
+        let full = net.clone().forward(&graph, &features);
+        let server = InferenceServer::spawn(
+            &graph,
+            &features,
+            &net,
+            ServingConfig {
+                max_batch: 3,
+                max_delay: Duration::from_secs(3600),
+            },
+        );
+        let futs: Vec<ServedFuture> = [9u32, 9, 9]
+            .iter()
+            .map(|&v| server.query(v).expect("ok"))
+            .collect();
+        for fut in futs {
+            let reply = fut
+                .wait_timeout(Duration::from_secs(30))
+                .expect("size trigger fired");
+            assert_eq!(reply.embedding.as_slice(), full.row(9));
+            assert_eq!(reply.batch_size, 3);
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_the_queue() {
+        let (graph, features, net) = setup(Architecture::Gcn, &[6, 5, 3]);
+        let full = net.clone().forward(&graph, &features);
+        let server = InferenceServer::spawn(
+            &graph,
+            &features,
+            &net,
+            ServingConfig {
+                max_batch: 1024,
+                max_delay: Duration::from_secs(3600),
+            },
+        );
+        let fut = server.query(3).expect("ok");
+        drop(server);
+        let reply = fut.wait().expect("drained on shutdown");
+        assert_eq!(reply.embedding.as_slice(), full.row(3));
+    }
+}

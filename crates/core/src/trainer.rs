@@ -60,6 +60,13 @@ pub struct TrainConfig {
     /// the same info through both). CAGNET replication must divide the
     /// device count.
     pub backend: Option<BackendKind>,
+    /// Mini-batch sampled training. `None` (the default) trains
+    /// full-batch; `Some` switches every epoch to seeded, fanout-bounded
+    /// mini-batches (see [`crate::sampling::SamplingConfig`]). The
+    /// fanout list's length must equal the layer count. With every
+    /// fanout ∞ and one batch covering every vertex the sampled run is
+    /// bitwise identical to the full-batch one.
+    pub sampling: Option<crate::sampling::SamplingConfig>,
 }
 
 impl TrainConfig {
@@ -75,6 +82,7 @@ impl TrainConfig {
             overlap: true,
             allreduce: None,
             backend: None,
+            sampling: None,
         }
     }
 }
@@ -178,9 +186,9 @@ pub fn train_distributed_with(
 /// epoch range this attempt runs, the losses of epochs completed before
 /// it (from the resumed checkpoint), and where rank 0 publishes
 /// checkpoints.
-struct EpochCtx<'a> {
-    start_epoch: usize,
-    end_epoch: usize,
+pub(crate) struct EpochCtx<'a> {
+    pub(crate) start_epoch: usize,
+    pub(crate) end_epoch: usize,
     prior_losses: &'a [f32],
     checkpoints: Option<&'a CheckpointConfig>,
 }
@@ -191,7 +199,7 @@ impl EpochCtx<'_> {
     /// Weights are identical on all ranks after the allreduce-then-step,
     /// so one publisher suffices; any crash earlier in the epoch fails
     /// the allreduce and never reaches this point.
-    fn publish(&self, rank: usize, net: &GnnNetwork, new_losses: &[f32]) {
+    pub(crate) fn publish(&self, rank: usize, net: &GnnNetwork, new_losses: &[f32]) {
         let Some(ck) = self.checkpoints else { return };
         if rank != 0 {
             return;
@@ -261,6 +269,13 @@ pub fn train_distributed_resumable(
     }
     assert_eq!(features.rows(), graph.num_vertices(), "feature rows");
     assert_eq!(targets.rows(), graph.num_vertices(), "target rows");
+    if let Some(scfg) = &cfg.sampling {
+        assert_eq!(
+            scfg.fanouts.len(),
+            cfg.dims.len() - 1,
+            "one fanout per layer"
+        );
+    }
     let backend_kind = cfg.backend.unwrap_or(info.backend);
     if let BackendKind::Cagnet { replication } = backend_kind {
         assert!(
@@ -297,7 +312,37 @@ pub fn train_distributed_resumable(
     let per_device_features = info.dispatch_features(features);
     let per_device_targets = info.dispatch_features(targets);
     let results = run_cluster_with(info, fabric_config, |handle| {
-        if cfg.overlap {
+        if let Some(scfg) = &cfg.sampling {
+            // Sampled bodies run their collectives inline (barriered);
+            // the overlap flag only governs the feature prefetch inside
+            // the block path.
+            let backend = backend_for(backend_kind, ExecStrategy::Barriered);
+            if scfg.is_exact() {
+                crate::sampling::device_body_masked(
+                    &handle,
+                    cfg,
+                    &ctx,
+                    &net0,
+                    scfg,
+                    graph,
+                    backend.as_ref(),
+                    &per_device_features,
+                    &per_device_targets,
+                )
+            } else {
+                crate::sampling::device_body_sampled(
+                    &handle,
+                    cfg,
+                    &ctx,
+                    &net0,
+                    scfg,
+                    graph,
+                    backend.as_ref(),
+                    &per_device_features,
+                    &per_device_targets,
+                )
+            }
+        } else if cfg.overlap {
             let backend = backend_for(backend_kind, ExecStrategy::Pipelined);
             device_body_overlapped(
                 &handle,
@@ -336,7 +381,7 @@ pub fn train_distributed_resumable(
 /// its direct (self-path) contribution: `backward_agg` splits the two,
 /// the backend folds remote consumers into the aggregate half, and the
 /// direct half lands on the local rows afterwards.
-fn fold_direct(mut grad_agg_back: Matrix, direct: Option<Matrix>) -> Matrix {
+pub(crate) fn fold_direct(mut grad_agg_back: Matrix, direct: Option<Matrix>) -> Matrix {
     if let Some(direct) = direct {
         for v in 0..grad_agg_back.rows() {
             for (g, &x) in grad_agg_back.row_mut(v).iter_mut().zip(direct.row(v)) {

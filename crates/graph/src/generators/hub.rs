@@ -83,7 +83,7 @@ mod tests {
         let n = 10_000;
         let g = hub_attachment(n, 50, 0.8, 7);
         let sample: Vec<u32> = (0..n as u32).filter(|v| v % 8 == 3).collect();
-        let closure = k_hop_closure(&g, &sample, 2);
+        let closure = k_hop_closure(&g, &sample, 2).unwrap();
         let covered = closure.iter().filter(|&&m| m).count();
         assert!(
             covered as f64 > 0.6 * n as f64,

@@ -26,11 +26,16 @@ pub mod datasets;
 pub mod generators;
 pub mod io;
 pub mod khop;
+pub mod sample;
 pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use datasets::Dataset;
+pub use khop::{
+    k_hop_closure, k_hop_closure_sparse, replication_factor, GraphError, SparseClosure,
+};
+pub use sample::{sample_blocks, sampled_src, seed_batches, LayerBlock};
 
 /// Vertex identifier within a graph.
 pub type VertexId = u32;

@@ -1,0 +1,395 @@
+//! Deterministic k-hop neighbor sampling for mini-batch training.
+//!
+//! DistDGL-style sampled training (PAPERS.md) replaces the full K-hop
+//! closure with per-layer *fanout*-bounded neighborhoods: a batch of seed
+//! vertices expands layer by layer into a chain of compact bipartite
+//! [`LayerBlock`]s (message-flow graphs), each mapping a sorted global
+//! destination set onto the sorted global source set feeding it.
+//!
+//! Everything here is **deterministic and replicable**: neighbor choices
+//! are keyed per `(seed, layer, vertex)` by a splitmix64 stream, never by
+//! global RNG state, so any rank — or any thread — can reconstruct any
+//! other rank's sample without communication. That property is what lets
+//! the distributed trainer compute halo-exchange row lists on both sides
+//! of every link independently.
+//!
+//! A fanout of `None` means ∞: the block contains the full neighborhood
+//! and the chain degenerates to the exact k-hop closure of the batch.
+
+use crate::khop::GraphError;
+use crate::{CsrGraph, VertexId};
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(GOLDEN);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A tiny deterministic RNG stream (splitmix64), keyed so that every
+/// `(seed, layer, vertex)` triple gets an independent stream.
+struct SampleRng {
+    state: u64,
+}
+
+impl SampleRng {
+    fn for_vertex(seed: u64, layer: usize, v: VertexId) -> Self {
+        Self {
+            state: mix(seed ^ mix(((layer as u64 + 1) << 32) ^ u64::from(v))),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN);
+        mix(self.state)
+    }
+
+    /// A value in `0..bound` (`bound` > 0). The modulo bias is
+    /// irrelevant here — only determinism matters.
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// The per-batch round seed: decorrelates batches and epochs while
+/// staying a pure function of `(seed, epoch, batch)`.
+pub fn round_seed(seed: u64, epoch: usize, batch: usize) -> u64 {
+    mix(seed ^ mix((epoch as u64) << 32 ^ batch as u64))
+}
+
+/// One bipartite sampled block: the adjacency from a sorted global
+/// destination set to the sorted global source set feeding it.
+///
+/// Aggregating for `dst[i]` reads source rows `targets[offsets[i]..
+/// offsets[i+1]]` (positions into `src`); the vertex's own input row sits
+/// at `src[dst_pos[i]]`. `src` always contains every `dst` vertex, so a
+/// layer's self-path input is available without a second fetch.
+///
+/// This is deliberately *not* a [`CsrGraph`]: the block is rectangular
+/// (`targets` index `src` rows, of which there are more than `dst` rows),
+/// which the square CSR invariants reject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerBlock {
+    /// Destination (output) vertices, global ids, sorted ascending.
+    pub dst: Vec<VertexId>,
+    /// Source (input) vertices, global ids, sorted ascending; a superset
+    /// of `dst`.
+    pub src: Vec<VertexId>,
+    /// `dst_pos[i]` is the position of `dst[i]` within `src`.
+    pub dst_pos: Vec<u32>,
+    /// Row offsets into `targets`; `len == dst.len() + 1`.
+    pub offsets: Vec<usize>,
+    /// Sampled in-neighbors as positions into `src`, per row in the
+    /// source graph's adjacency order.
+    pub targets: Vec<u32>,
+}
+
+impl LayerBlock {
+    /// Number of destination (output) rows.
+    pub fn num_dst(&self) -> usize {
+        self.dst.len()
+    }
+
+    /// Number of source (input) rows.
+    pub fn num_src(&self) -> usize {
+        self.src.len()
+    }
+
+    /// The sampled neighbors of destination row `i`, as positions into
+    /// `src`.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Total sampled edges in the block.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// Chooses the sampled neighbor *positions* (indices into `v`'s
+/// adjacency list) for one vertex: all of them when `fanout` is `None`
+/// or the degree fits, otherwise a partial Fisher–Yates draw of `f`
+/// distinct positions, emitted in ascending position order so the
+/// surviving neighbors keep the adjacency list's order.
+fn chosen_positions(deg: usize, fanout: Option<usize>, rng: &mut SampleRng) -> Vec<usize> {
+    match fanout {
+        Some(f) if deg > f => {
+            let mut idx: Vec<usize> = (0..deg).collect();
+            for i in 0..f {
+                let j = i + rng.below(deg - i);
+                idx.swap(i, j);
+            }
+            idx.truncate(f);
+            idx.sort_unstable();
+            idx
+        }
+        _ => (0..deg).collect(),
+    }
+}
+
+/// Builds the sampled block for one layer: `dst` (sorted, deduplicated
+/// global ids) expands to its sampled in-neighborhood under `fanout`.
+/// `seed` and `layer` key the per-vertex draws.
+///
+/// # Errors
+///
+/// [`GraphError::SeedOutOfRange`] if any `dst` vertex is out of range.
+pub fn build_block(
+    graph: &CsrGraph,
+    dst: &[VertexId],
+    fanout: Option<usize>,
+    seed: u64,
+    layer: usize,
+) -> Result<LayerBlock, GraphError> {
+    let n = graph.num_vertices();
+    debug_assert!(dst.windows(2).all(|w| w[0] < w[1]), "dst sorted + deduped");
+    let mut offsets = Vec::with_capacity(dst.len() + 1);
+    offsets.push(0usize);
+    // Chosen neighbors by global id, flat, rows delimited by `offsets`.
+    let mut flat: Vec<VertexId> = Vec::new();
+    for &v in dst {
+        if (v as usize) >= n {
+            return Err(GraphError::SeedOutOfRange {
+                seed: v,
+                num_vertices: n,
+            });
+        }
+        let neigh = graph.neighbors(v);
+        let mut rng = SampleRng::for_vertex(seed, layer, v);
+        for p in chosen_positions(neigh.len(), fanout, &mut rng) {
+            flat.push(neigh[p]);
+        }
+        offsets.push(flat.len());
+    }
+    let mut src: Vec<VertexId> = dst.to_vec();
+    src.extend_from_slice(&flat);
+    src.sort_unstable();
+    src.dedup();
+    let pos = |v: VertexId| src.binary_search(&v).expect("member of src") as u32;
+    let dst_pos: Vec<u32> = dst.iter().map(|&v| pos(v)).collect();
+    let targets: Vec<u32> = flat.iter().map(|&v| pos(v)).collect();
+    Ok(LayerBlock {
+        dst: dst.to_vec(),
+        src,
+        dst_pos,
+        offsets,
+        targets,
+    })
+}
+
+/// The sorted global source set [`build_block`] would produce for the
+/// same inputs, without materialising the adjacency — for cost models
+/// and peer-need replication.
+///
+/// # Errors
+///
+/// [`GraphError::SeedOutOfRange`] if any `dst` vertex is out of range.
+pub fn sampled_src(
+    graph: &CsrGraph,
+    dst: &[VertexId],
+    fanout: Option<usize>,
+    seed: u64,
+    layer: usize,
+) -> Result<Vec<VertexId>, GraphError> {
+    Ok(build_block(graph, dst, fanout, seed, layer)?.src)
+}
+
+/// Samples the full block chain for one batch: `fanouts.len()` layers,
+/// returned in forward order (`blocks[0]` touches the raw features). The
+/// chain invariant is `blocks[l].dst == blocks[l + 1].src`, and
+/// `blocks.last().dst` is the sorted, deduplicated batch.
+///
+/// # Errors
+///
+/// [`GraphError::SeedOutOfRange`] if any seed is out of range.
+pub fn sample_blocks(
+    graph: &CsrGraph,
+    seeds: &[VertexId],
+    fanouts: &[Option<usize>],
+    seed: u64,
+) -> Result<Vec<LayerBlock>, GraphError> {
+    let n = graph.num_vertices();
+    let mut dst: Vec<VertexId> = seeds.to_vec();
+    dst.sort_unstable();
+    dst.dedup();
+    if let Some(&bad) = dst.iter().find(|&&v| (v as usize) >= n) {
+        return Err(GraphError::SeedOutOfRange {
+            seed: bad,
+            num_vertices: n,
+        });
+    }
+    let mut rev: Vec<LayerBlock> = Vec::with_capacity(fanouts.len());
+    for layer in (0..fanouts.len()).rev() {
+        let block = build_block(graph, &dst, fanouts[layer], seed, layer)?;
+        dst = block.src.clone();
+        rev.push(block);
+    }
+    rev.reverse();
+    Ok(rev)
+}
+
+/// Splits `seeds` into deterministic mini-batches for one epoch: a
+/// Fisher–Yates shuffle keyed by `(seed, epoch)`, chunked into
+/// `batch_size` pieces (the last may be short). `batch_size == 0` is
+/// treated as one batch of everything.
+pub fn seed_batches(
+    seeds: &[VertexId],
+    batch_size: usize,
+    seed: u64,
+    epoch: usize,
+) -> Vec<Vec<VertexId>> {
+    let mut order: Vec<VertexId> = seeds.to_vec();
+    let mut rng = SampleRng {
+        state: mix(seed ^ mix(0xBA7C_0000 ^ epoch as u64)),
+    };
+    for i in (1..order.len()).rev() {
+        let j = rng.below(i + 1);
+        order.swap(i, j);
+    }
+    let size = if batch_size == 0 {
+        order.len().max(1)
+    } else {
+        batch_size
+    };
+    order.chunks(size).map(<[VertexId]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::hub_attachment;
+    use crate::khop::k_hop_closure_sparse;
+
+    fn graph() -> CsrGraph {
+        hub_attachment(500, 10, 0.8, 3)
+    }
+
+    #[test]
+    fn infinite_fanout_is_the_exact_closure() {
+        let g = graph();
+        let seeds = [3, 77, 410];
+        let blocks = sample_blocks(&g, &seeds, &[None, None], 9).unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[1].dst, vec![3, 77, 410]);
+        // Block src sets walk the exact 1- and 2-hop closures.
+        let hop1 = k_hop_closure_sparse(&g, &seeds, 1).unwrap();
+        let hop2 = k_hop_closure_sparse(&g, &seeds, 2).unwrap();
+        assert_eq!(blocks[1].src, hop1.visited());
+        assert_eq!(blocks[0].src, hop2.visited());
+        // Every row carries the full neighborhood, in adjacency order.
+        for (i, &v) in blocks[1].dst.iter().enumerate() {
+            let row: Vec<VertexId> = blocks[1]
+                .row(i)
+                .iter()
+                .map(|&t| blocks[1].src[t as usize])
+                .collect();
+            assert_eq!(row, g.neighbors(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn chain_invariant_holds() {
+        let g = graph();
+        let blocks = sample_blocks(&g, &[5, 9, 200], &[Some(3), Some(2), None], 4).unwrap();
+        for l in 0..blocks.len() - 1 {
+            assert_eq!(blocks[l].dst, blocks[l + 1].src, "layer {l}");
+        }
+        for b in &blocks {
+            for (i, &v) in b.dst.iter().enumerate() {
+                assert_eq!(b.src[b.dst_pos[i] as usize], v);
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_bounds_row_length() {
+        let g = graph();
+        let b = build_block(&g, &[0, 1, 2, 3], Some(2), 7, 0).unwrap();
+        for i in 0..b.num_dst() {
+            let deg = g.out_degree(b.dst[i]);
+            assert!(b.row(i).len() <= 2);
+            assert_eq!(b.row(i).len(), deg.min(2), "vertex {}", b.dst[i]);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_across_threads() {
+        let g = std::sync::Arc::new(graph());
+        let seeds: Vec<VertexId> = (0..50).map(|i| i * 7 % 500).collect();
+        let reference = sample_blocks(&g, &seeds, &[Some(4), Some(3)], 123).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = g.clone();
+                let seeds = seeds.clone();
+                std::thread::spawn(move || sample_blocks(&g, &seeds, &[Some(4), Some(3)], 123))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = graph();
+        let a = sample_blocks(&g, &[0, 1, 2, 3, 4], &[Some(2)], 1).unwrap();
+        let b = sample_blocks(&g, &[0, 1, 2, 3, 4], &[Some(2)], 2).unwrap();
+        assert_ne!(a, b, "distinct seeds should draw distinct samples");
+    }
+
+    #[test]
+    fn sampled_src_matches_block() {
+        let g = graph();
+        let b = build_block(&g, &[10, 20, 30], Some(3), 55, 1).unwrap();
+        assert_eq!(
+            sampled_src(&g, &[10, 20, 30], Some(3), 55, 1).unwrap(),
+            b.src
+        );
+    }
+
+    #[test]
+    fn bad_seed_is_typed() {
+        let g = graph();
+        let err = sample_blocks(&g, &[1, 5000], &[Some(2)], 0).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::SeedOutOfRange {
+                seed: 5000,
+                num_vertices: 500
+            }
+        );
+    }
+
+    #[test]
+    fn batches_partition_the_seed_set() {
+        let seeds: Vec<VertexId> = (0..103).collect();
+        let batches = seed_batches(&seeds, 10, 42, 1);
+        assert_eq!(batches.len(), 11);
+        assert!(batches[..10].iter().all(|b| b.len() == 10));
+        assert_eq!(batches[10].len(), 3);
+        let mut all: Vec<VertexId> = batches.concat();
+        all.sort_unstable();
+        assert_eq!(all, seeds);
+        assert_eq!(batches, seed_batches(&seeds, 10, 42, 1), "deterministic");
+        assert_ne!(batches, seed_batches(&seeds, 10, 42, 2), "epochs reshuffle");
+    }
+
+    #[test]
+    fn zero_batch_size_is_one_batch() {
+        let seeds: Vec<VertexId> = (0..7).collect();
+        let batches = seed_batches(&seeds, 0, 1, 0);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 7);
+    }
+
+    #[test]
+    fn round_seed_decorrelates() {
+        assert_ne!(round_seed(1, 0, 0), round_seed(1, 0, 1));
+        assert_ne!(round_seed(1, 0, 0), round_seed(1, 1, 0));
+        assert_ne!(round_seed(1, 0, 0), round_seed(2, 0, 0));
+    }
+}

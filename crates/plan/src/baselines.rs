@@ -170,7 +170,7 @@ pub fn replication(graph: &CsrGraph, pg: &PartitionedGraph, layers: usize) -> Re
         // Closures for hops 0..=layers; closure[h] is the membership mask
         // of the h-hop neighbourhood.
         let closures: Vec<Vec<bool>> = (0..=layers)
-            .map(|h| k_hop_closure(graph, seeds, h))
+            .map(|h| k_hop_closure(graph, seeds, h).expect("partition seeds are in range"))
             .collect();
         stored_vertices.push(closures[layers].iter().filter(|&&m| m).count());
         stored_edges.push(
@@ -273,7 +273,8 @@ mod tests {
     fn replication_factor_matches_khop_helper() {
         let (g, pg) = small_pg();
         let plan = replication(&g, &pg, 2);
-        let expect = dgcl_graph::khop::replication_factor(&g, &pg.partition, pg.num_parts, 2);
+        let expect =
+            dgcl_graph::khop::replication_factor(&g, &pg.partition, pg.num_parts, 2).unwrap();
         assert!((plan.factor - expect).abs() < 1e-12);
         assert!(plan.factor > 1.0);
     }

@@ -542,7 +542,7 @@ fn simulate_dgcl_r(graph: &CsrGraph, topology: &Topology, cfg: &EpochConfig) -> 
         // The machine stores and computes over the K-hop closure of its
         // share (per-layer shrinking closures like plain replication).
         let closures: Vec<Vec<bool>> = (0..=cfg.layers)
-            .map(|h| k_hop_closure(graph, &owned, h))
+            .map(|h| k_hop_closure(graph, &owned, h).expect("owned vertices are in range"))
             .collect();
         let members: Vec<dgcl_graph::VertexId> = closures[cfg.layers]
             .iter()

@@ -22,6 +22,9 @@
 //! * [`recovery`] — a discrete Young/Daly-style model pricing the
 //!   elastic-recovery trade-off: checkpoint-serialization cadence versus
 //!   expected work lost per crash.
+//! * [`minibatch`] — cost models for sampled mini-batch training
+//!   (expected block volumes per fanout/batch setting) and batched
+//!   inference serving (flush latency vs sustainable QPS).
 
 pub mod backends;
 pub mod collectives;
@@ -29,6 +32,7 @@ pub mod compute;
 pub mod epoch;
 pub mod faults;
 pub mod memory;
+pub mod minibatch;
 pub mod network;
 pub mod recovery;
 pub mod transport;
@@ -45,5 +49,6 @@ pub use epoch::{
     simulate_epoch, simulate_overlap, EpochBreakdown, EpochConfig, Method, OverlapBreakdown,
 };
 pub use faults::{simulate_plan_faulted, FaultedReport, SimFault, SimFaultPlan};
+pub use minibatch::{SamplingModel, ServingModel};
 pub use network::{simulate_flows, simulate_plan, simulate_plan_pipelined, Flow, NetworkReport};
 pub use recovery::RecoveryModel;
