@@ -25,8 +25,10 @@
 //! | `recovery` | (extra) | elastic recovery: warm replan vs cold plan, epochs lost per crash |
 //! | `sampling` | (extra) | mini-batch sampled training vs full-batch, with model volume ratios |
 //! | `serving` | (extra) | batched vs unbatched inference serving under open-loop load |
+//! | `cache` | (extra) | hot-vertex feature cache: gather volume vs capacity, bitwise parity |
 
 mod ablation;
+mod cache;
 mod cagnet;
 mod collectives;
 mod compute;
@@ -76,6 +78,7 @@ pub const ALL: &[&str] = &[
     "recovery",
     "sampling",
     "serving",
+    "cache",
 ];
 
 /// Runs one experiment by id. Returns false for an unknown id.
@@ -104,6 +107,7 @@ pub fn run(id: &str, ctx: &mut RunContext) -> bool {
         "recovery" => recovery::run(ctx),
         "sampling" => sampling::run(ctx),
         "serving" => serving::run(ctx),
+        "cache" => cache::run(ctx),
         _ => return false,
     }
     true

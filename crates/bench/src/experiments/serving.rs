@@ -165,6 +165,7 @@ pub fn run(ctx: &mut RunContext) {
     let batched_cfg = ServingConfig {
         max_batch: 32,
         max_delay: Duration::from_micros(300),
+        cache_rows: None,
     };
 
     let mut records: Vec<ServingRecord> = Vec::new();

@@ -14,6 +14,7 @@ use dgcl_topology::Topology;
 
 use crate::backend::BackendPolicy;
 use crate::error::RuntimeError;
+use crate::featcache::{CachePolicy, FeatureCacheSets};
 use crate::pipeline::{self, PipelineSchedule};
 use crate::schedule::DeviceSchedule;
 
@@ -43,6 +44,12 @@ pub struct BuildOptions {
     /// [`SpstConfig::batched`] so the demand-class cache amortises the
     /// survivors' near-identical demands.
     pub spst: SpstConfig,
+    /// Hot-vertex remote feature cache policy. The admission ranking is
+    /// always computed (it is partition-derived and cheap); this only
+    /// sets the default capacity policy training runs under —
+    /// [`CachePolicy::Off`] keeps every path uncached, and
+    /// `TrainConfig::feature_cache` can override per run.
+    pub feature_cache: CachePolicy,
 }
 
 impl Default for BuildOptions {
@@ -54,6 +61,7 @@ impl Default for BuildOptions {
             chunk_rows: 64,
             backend: BackendPolicy::Fixed(BackendKind::Planned),
             spst: SpstConfig::default(),
+            feature_cache: CachePolicy::Off,
         }
     }
 }
@@ -98,6 +106,9 @@ pub struct CommInfo {
     /// Block-partitioned adjacency for the CAGNET backend (always
     /// built; a planned run simply never reads it).
     pub cagnet: Arc<CagnetBlocks>,
+    /// Offline feature-cache admission ranking and Auto capacities
+    /// (always scored; [`CachePolicy::Off`] runs simply never read it).
+    pub feature_cache: Arc<FeatureCacheSets>,
 }
 
 /// Partitions `graph` across the topology's GPUs (hierarchically when it
@@ -184,6 +195,14 @@ pub fn try_build_comm_info(
         BackendKind::Planned => BackendKind::Planned,
     };
     let cagnet = Arc::new(CagnetBlocks::new(graph, &pg));
+    // Scored on the *final* partition (CAGNET may have rebuilt it) so
+    // cached sets always match the demands the runtime exchanges over.
+    let feature_cache = Arc::new(FeatureCacheSets::score(
+        graph,
+        &pg,
+        (options.bytes_per_vertex / 4).max(1) as usize,
+        options.feature_cache,
+    ));
     let outcome = spst_plan_with_config(
         &pg,
         &topology,
@@ -237,6 +256,7 @@ pub fn try_build_comm_info(
         backend,
         backend_choice,
         cagnet,
+        feature_cache,
     })
 }
 

@@ -65,6 +65,7 @@ pub mod comm_info;
 pub mod error;
 pub mod fabric;
 pub mod fault;
+pub mod featcache;
 pub mod overlap;
 pub mod pipeline;
 pub mod recovery;
@@ -87,6 +88,9 @@ pub use dgcl_sim::{BackendChoice, BackendKind, BackendSelector};
 pub use error::{ClusterError, ClusterFailure, RuntimeError};
 pub use fabric::{Fabric, FabricConfig};
 pub use fault::{FaultEvent, FaultPlan};
+pub use featcache::{
+    CachePolicy, CacheStats, CacheStatsSnapshot, ClusterCache, FeatureCache, FeatureCacheSets,
+};
 pub use overlap::{OverlapWorker, Pending};
 pub use pipeline::PipelineSchedule;
 pub use recovery::{train_elastic, ElasticReport, RecoveryConfig, RecoveryEvent, ResumePolicy};

@@ -299,9 +299,14 @@ mod tests {
     fn sink_resume_survives_memory_loss() {
         let (graph, features, targets, cfg) = case();
         let sink = MemorySink::shared();
+        // Crash rank 0 — the checkpoint publisher — so the epoch-3
+        // in-memory publish deterministically precedes the crash on the
+        // same thread. (A crash on any other rank races rank 0's final
+        // allreduce: the poison can unwind rank 0 before it publishes,
+        // leaving memory at epoch 2 and `epochs_lost` at 0.)
         let rcfg = RecoveryConfig {
             fabrics: vec![FabricConfig {
-                faults: FaultPlan::crash_at_epoch(2, 3),
+                faults: FaultPlan::crash_at_epoch(0, 3),
                 ..FabricConfig::default()
             }],
             spec: Some(CheckpointSpec {

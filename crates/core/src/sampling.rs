@@ -27,13 +27,14 @@
 
 use dgcl_gnn::AggKind;
 use dgcl_graph::khop::GraphError;
-use dgcl_graph::sample::{round_seed, sample_blocks, seed_batches, LayerBlock};
+use dgcl_graph::sample::{round_seed, seed_batches, BlockPool, LayerBlock};
 use dgcl_graph::{CsrGraph, VertexId};
 use dgcl_tensor::Matrix;
 
 use crate::backend::CommBackend;
 use crate::error::RuntimeError;
 use crate::fabric::{expect_payload, Fabric, MsgKey};
+use crate::featcache::{ClusterCache, HaloGatherCtx};
 use crate::overlap::Pending;
 use crate::runtime::DeviceHandle;
 use crate::trainer::{EpochCtx, TrainConfig};
@@ -98,23 +99,53 @@ pub(crate) fn graph_err(rank: usize, e: &GraphError) -> RuntimeError {
 }
 
 /// One rank's view of a batch row exchange: assemble the matrix for a
-/// sorted global row list from the per-rank owners. Every rank builds
-/// the same structure from the shared block chain and partition, so the
-/// sends and receives pair up without negotiation.
+/// global row list from the per-rank owners. Every rank builds the same
+/// structure from the shared block chain, partition and cache sets, so
+/// the sends and receives pair up without negotiation.
+///
+/// Two volume optimisations live here:
+///
+/// * **Dedup** — repeated row indices in the request list cross the
+///   wire once; every occurrence is filled from the single transferred
+///   copy.
+/// * **Feature cache** — rows resident in the requester's
+///   [`ClusterCache`] never cross the wire at all: their values are
+///   embedded in the plan at build time (so the plan stays
+///   self-contained on the [`crate::OverlapWorker`]), and senders skip
+///   them because cache sets are shared knowledge.
 #[derive(Debug)]
 pub struct GatherPlan {
     out_rows: usize,
     cols: usize,
-    /// This rank's contribution: its owned rows, ascending global order.
+    /// This rank's unique owned request rows, ascending global order.
     own: Matrix,
-    /// Output positions of the owned rows.
-    own_pos: Vec<usize>,
-    /// Ascending peer ranks owning ≥ 1 row, with their output positions.
-    peers: Vec<(usize, Vec<usize>)>,
+    /// `(own row, output position)` per occurrence in the request list.
+    own_place: Vec<(u32, u32)>,
+    /// Ascending peers and the `own` row indices each receives (rows in
+    /// the peer's cache are omitted; empty sends are dropped).
+    sends: Vec<(usize, Vec<usize>)>,
+    /// Ascending contributing peers: unique wire row count and
+    /// `(wire row, output position)` per occurrence.
+    recvs: Vec<RecvEntry>,
+    /// Cache-served values copied out of this rank's cache at build
+    /// time, with `(cached row, output position)` placements.
+    cached: Matrix,
+    cached_place: Vec<(u32, u32)>,
+}
+
+/// `(peer, unique wire rows, (wire row, output position) placements)`.
+type RecvEntry = (usize, usize, Vec<(u32, u32)>);
+
+/// Where one unique requested row comes from during assembly.
+enum RowSource {
+    Own(u32),
+    Cached(u32),
+    Wire { peer: u32, row: u32 },
 }
 
 impl GatherPlan {
-    /// Builds the plan for assembling `rows` (sorted global ids).
+    /// Builds the uncached plan for assembling `rows` (global ids; any
+    /// order, duplicates allowed — each unique row travels once).
     /// `have` lists the global ids backing `values`' rows (ascending);
     /// it must contain every row of `rows` this rank owns.
     pub fn build(
@@ -125,27 +156,138 @@ impl GatherPlan {
         have: &[VertexId],
         values: &Matrix,
     ) -> Self {
-        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); num_parts];
-        for (i, &v) in rows.iter().enumerate() {
-            positions[partition[v as usize] as usize].push(i);
+        Self::build_inner(rows, partition, num_parts, rank, have, values, None)
+    }
+
+    /// [`GatherPlan::build`] against the cluster's feature cache: rows
+    /// in this rank's cache are served locally (values embedded in the
+    /// plan), and sends skip rows resident in each receiver's cache.
+    /// Bumps this rank's [`CacheStats`](crate::featcache::CacheStats)
+    /// with the exchange's unique hit/miss rows.
+    pub fn build_cached(
+        rows: &[VertexId],
+        partition: &[u32],
+        num_parts: usize,
+        rank: usize,
+        have: &[VertexId],
+        values: &Matrix,
+        cache: &ClusterCache,
+    ) -> Self {
+        Self::build_inner(rows, partition, num_parts, rank, have, values, Some(cache))
+    }
+
+    fn build_inner(
+        rows: &[VertexId],
+        partition: &[u32],
+        num_parts: usize,
+        rank: usize,
+        have: &[VertexId],
+        values: &Matrix,
+        cache: Option<&ClusterCache>,
+    ) -> Self {
+        let cols = values.cols();
+        // Unique request rows, ascending: the dedup that makes each
+        // remote row cross the wire once per exchange.
+        let mut uniq: Vec<VertexId> = rows.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let mut by_part: Vec<Vec<u32>> = vec![Vec::new(); num_parts];
+        for (u, &v) in uniq.iter().enumerate() {
+            by_part[partition[v as usize] as usize].push(u as u32);
         }
-        let own_pos = std::mem::take(&mut positions[rank]);
-        let own_idx: Vec<usize> = own_pos
+        // Resolve every unique row to its assembly source. Senders and
+        // receivers agree because `uniq`, the partition and the cache
+        // sets are all shared knowledge.
+        let mut source: Vec<Option<RowSource>> = (0..uniq.len()).map(|_| None).collect();
+        let own_idx: Vec<usize> = by_part[rank]
             .iter()
-            .map(|&p| have.binary_search(&rows[p]).expect("owner holds its rows"))
+            .map(|&u| {
+                have.binary_search(&uniq[u as usize])
+                    .expect("owner holds its rows")
+            })
             .collect();
+        for (r, &u) in by_part[rank].iter().enumerate() {
+            source[u as usize] = Some(RowSource::Own(r as u32));
+        }
         let own = values.gather_rows(&own_idx);
-        let peers: Vec<(usize, Vec<usize>)> = positions
-            .into_iter()
-            .enumerate()
-            .filter(|(p, pos)| *p != rank && !pos.is_empty())
+        let mine = cache.map(|c| &c.caches[rank]);
+        let mut cached_rows: Vec<usize> = Vec::new();
+        let mut recvs: Vec<RecvEntry> = Vec::new();
+        for (peer, part) in by_part.iter().enumerate() {
+            if peer == rank {
+                continue;
+            }
+            let mut wire = 0u32;
+            for &u in part {
+                let v = uniq[u as usize];
+                if let Some(ci) = mine.and_then(|m| m.lookup(v)) {
+                    source[u as usize] = Some(RowSource::Cached(cached_rows.len() as u32));
+                    cached_rows.push(ci);
+                } else {
+                    source[u as usize] = Some(RowSource::Wire {
+                        peer: peer as u32,
+                        row: wire,
+                    });
+                    wire += 1;
+                }
+            }
+            if wire > 0 {
+                recvs.push((peer, wire as usize, Vec::new()));
+            }
+        }
+        let cached = match mine {
+            Some(m) if !cached_rows.is_empty() => m.rows.gather_rows(&cached_rows),
+            _ => Matrix::zeros(0, cols),
+        };
+        if let Some(m) = mine {
+            let fetched: usize = recvs.iter().map(|(_, n, _)| *n).sum();
+            m.stats
+                .record(cached_rows.len() as u64, fetched as u64, cols);
+        }
+        // Placements: one entry per occurrence in the original list.
+        let mut own_place = Vec::new();
+        let mut cached_place = Vec::new();
+        for (i, &v) in rows.iter().enumerate() {
+            let u = uniq.binary_search(&v).expect("uniq covers rows");
+            match source[u].as_ref().expect("every unique row resolved") {
+                RowSource::Own(r) => own_place.push((*r, i as u32)),
+                RowSource::Cached(r) => cached_place.push((*r, i as u32)),
+                RowSource::Wire { peer, row } => {
+                    let entry = recvs
+                        .iter_mut()
+                        .find(|(p, _, _)| *p == *peer as usize)
+                        .expect("contributing peer recorded");
+                    entry.2.push((*row, i as u32));
+                }
+            }
+        }
+        // Sends: each peer gets this rank's unique owned rows minus the
+        // peer's cached set, in ascending global order (the order the
+        // peer's wire indices assume).
+        let sends: Vec<(usize, Vec<usize>)> = (0..num_parts)
+            .filter(|&peer| peer != rank)
+            .filter_map(|peer| {
+                let out: Vec<usize> = by_part[rank]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &u)| match cache {
+                        Some(c) => !c.contains(peer, uniq[u as usize]),
+                        None => true,
+                    })
+                    .map(|(r, _)| r)
+                    .collect();
+                (!out.is_empty()).then_some((peer, out))
+            })
             .collect();
         Self {
             out_rows: rows.len(),
-            cols: values.cols(),
+            cols,
             own,
-            own_pos,
-            peers,
+            own_place,
+            sends,
+            recvs,
+            cached,
+            cached_place,
         }
     }
 }
@@ -159,10 +301,11 @@ fn add_into(acc: &mut Matrix, m: &Matrix) {
     }
 }
 
-/// Executes a [`GatherPlan`] under a pre-assigned op: posts this rank's
-/// owned rows to every peer, then assembles the full matrix from its own
-/// rows plus each contributing peer's, receives drained in ascending
-/// rank order. Runs on the main thread or on the [`crate::OverlapWorker`]
+/// Executes a [`GatherPlan`] under a pre-assigned op: posts each peer
+/// its filtered unique owned rows, then assembles the full matrix from
+/// its own rows, the cache-served rows embedded in the plan, and each
+/// contributing peer's wire block, receives drained in ascending rank
+/// order. Runs on the main thread or on the [`crate::OverlapWorker`]
 /// (prefetch) — op-tagged keys keep the two from colliding.
 pub(crate) fn execute_gather(
     fabric: &Fabric,
@@ -171,25 +314,28 @@ pub(crate) fn execute_gather(
     plan: &GatherPlan,
 ) -> Result<Matrix, RuntimeError> {
     let key: MsgKey = (op, 0, 0, 0);
-    if !plan.own_pos.is_empty() {
-        for peer in 0..fabric.num_devices() {
-            if peer == rank {
-                continue;
-            }
-            fabric.wait_ready(peer, op, rank)?;
-            fabric.send(rank, peer, key, plan.own.as_slice().to_vec())?;
-        }
+    for (peer, idx) in &plan.sends {
+        fabric.wait_ready(*peer, op, rank)?;
+        let payload = if idx.len() == plan.own.rows() {
+            plan.own.as_slice().to_vec()
+        } else {
+            plan.own.gather_rows(idx).into_vec()
+        };
+        fabric.send(rank, *peer, key, payload)?;
     }
     let mut out = Matrix::zeros(plan.out_rows, plan.cols);
-    for (i, &p) in plan.own_pos.iter().enumerate() {
-        out.set_row(p, plan.own.row(i));
+    for &(r, p) in &plan.own_place {
+        out.set_row(p as usize, plan.own.row(r as usize));
     }
-    for (peer, pos) in &plan.peers {
+    for &(r, p) in &plan.cached_place {
+        out.set_row(p as usize, plan.cached.row(r as usize));
+    }
+    for (peer, wire_rows, place) in &plan.recvs {
         let payload = fabric.recv(*peer, rank, key)?;
-        expect_payload(rank, payload.len(), pos.len() * plan.cols, key)?;
-        let m = Matrix::from_vec(pos.len(), plan.cols, payload);
-        for (i, &p) in pos.iter().enumerate() {
-            out.set_row(p, m.row(i));
+        expect_payload(rank, payload.len(), wire_rows * plan.cols, key)?;
+        let m = Matrix::from_vec(*wire_rows, plan.cols, payload);
+        for &(r, p) in place {
+            out.set_row(p as usize, m.row(r as usize));
         }
     }
     Ok(out)
@@ -307,17 +453,23 @@ fn train_set(scfg: &SamplingConfig, graph: &CsrGraph) -> Vec<VertexId> {
 
 /// The barriered full-graph forward shared by both sampled bodies' final
 /// inference pass (and the exact path's per-batch forward): per layer,
-/// the backend's aggregate exchange then the local layer.
+/// the backend's aggregate exchange then the local layer. When a layer-0
+/// halo context is supplied (planned backend + feature cache), layer 0's
+/// exchange routes through the cache instead.
 fn full_forward(
     handle: &DeviceHandle<'_>,
     net: &mut dgcl_gnn::GnnNetwork,
     backend: &dyn CommBackend,
     kind: AggKind,
     features: &Matrix,
+    l0: Option<&HaloGatherCtx<'_>>,
 ) -> Result<Matrix, RuntimeError> {
     let mut h = features.clone();
-    for layer in net.layers_mut() {
-        let agg = backend.agg_forward(handle, &h, kind)?;
+    for (l, layer) in net.layers_mut().iter_mut().enumerate() {
+        let agg = match (l, l0) {
+            (0, Some(ctx)) => ctx.agg_forward(handle, &h, kind)?,
+            _ => backend.agg_forward(handle, &h, kind)?,
+        };
         h = layer.forward_agg(&h, agg);
     }
     Ok(h)
@@ -365,6 +517,8 @@ pub(crate) fn device_body_sampled(
     backend: &dyn CommBackend,
     per_device_features: &[Matrix],
     per_device_targets: &[Matrix],
+    cache: Option<&ClusterCache>,
+    use_halo: bool,
 ) -> Result<(Vec<f32>, Matrix), RuntimeError> {
     let rank = handle.rank;
     let info = handle.comm_info();
@@ -376,6 +530,32 @@ pub(crate) fn device_body_sampled(
     let num_layers = net.num_layers();
     let seeds = train_set(scfg, graph);
     let worker = scfg.prefetch.then(|| handle.overlap_worker());
+    // Layer-0 feature gathers (the only gathers over *raw* features, the
+    // immutable rows the cache holds) consult the cache; inter-layer
+    // gathers move activations and always build uncached plans.
+    let feature_plan = |src: &[VertexId]| match cache {
+        Some(c) => GatherPlan::build_cached(
+            src,
+            partition,
+            num_parts,
+            rank,
+            owned,
+            &per_device_features[rank],
+            c,
+        ),
+        None => GatherPlan::build(
+            src,
+            partition,
+            num_parts,
+            rank,
+            owned,
+            &per_device_features[rank],
+        ),
+    };
+    let halo = HaloGatherCtx::build(info, rank, if use_halo { cache } else { None });
+    // Per-batch block-chain scratch recycles across batches; with
+    // prefetch on, steady state holds two chains' carcasses.
+    let mut pool = BlockPool::new();
     let mut losses = Vec::with_capacity(ctx.end_epoch - ctx.start_epoch);
     // Blocks + pending feature gather for the *next* batch, posted while
     // the current batch computes.
@@ -389,7 +569,7 @@ pub(crate) fn device_body_sampled(
                 Some((blocks, pending)) => (blocks, handle.wait_pending(pending)?),
                 None => {
                     let blocks = handle.poison_on_err(
-                        sample_blocks(
+                        pool.sample_blocks(
                             graph,
                             batch,
                             &scfg.fanouts,
@@ -397,14 +577,7 @@ pub(crate) fn device_body_sampled(
                         )
                         .map_err(|e| graph_err(rank, &e)),
                     )?;
-                    let plan = GatherPlan::build(
-                        &blocks[0].src,
-                        partition,
-                        num_parts,
-                        rank,
-                        owned,
-                        &per_device_features[rank],
-                    );
+                    let plan = feature_plan(&blocks[0].src);
                     let h = backend.fetch_rows(handle, &plan)?;
                     (blocks, h)
                 }
@@ -412,7 +585,7 @@ pub(crate) fn device_body_sampled(
             if let Some(w) = &worker {
                 if bi + 1 < batches.len() {
                     let next = handle.poison_on_err(
-                        sample_blocks(
+                        pool.sample_blocks(
                             graph,
                             &batches[bi + 1],
                             &scfg.fanouts,
@@ -420,14 +593,7 @@ pub(crate) fn device_body_sampled(
                         )
                         .map_err(|e| graph_err(rank, &e)),
                     )?;
-                    let plan = GatherPlan::build(
-                        &next[0].src,
-                        partition,
-                        num_parts,
-                        rank,
-                        owned,
-                        &per_device_features[rank],
-                    );
+                    let plan = feature_plan(&next[0].src);
                     let pending = handle.submit_exchange(w, plan)?;
                     prefetched = Some((next, pending));
                 }
@@ -494,6 +660,7 @@ pub(crate) fn device_body_sampled(
                 }
             }
             epoch_loss += reduce_and_step(handle, &mut net, cfg.lr, local_loss)?;
+            pool.recycle(blocks);
         }
         losses.push(epoch_loss);
         ctx.publish(rank, &net, &losses);
@@ -504,6 +671,7 @@ pub(crate) fn device_body_sampled(
         backend,
         agg_kind,
         &per_device_features[rank],
+        halo.as_ref(),
     )?;
     Ok((losses, out))
 }
@@ -524,9 +692,16 @@ pub(crate) fn device_body_masked(
     backend: &dyn CommBackend,
     per_device_features: &[Matrix],
     per_device_targets: &[Matrix],
+    cache: Option<&ClusterCache>,
+    use_halo: bool,
 ) -> Result<(Vec<f32>, Matrix), RuntimeError> {
     let rank = handle.rank;
     let owned: &[VertexId] = &handle.comm_info().pg.local[rank];
+    let halo = HaloGatherCtx::build(
+        handle.comm_info(),
+        rank,
+        if use_halo { cache } else { None },
+    );
     let agg_kind = cfg.arch.agg_kind();
     let mut net = net0.clone();
     let seeds = train_set(scfg, graph);
@@ -552,6 +727,7 @@ pub(crate) fn device_body_masked(
                 backend,
                 agg_kind,
                 &per_device_features[rank],
+                halo.as_ref(),
             )?;
             // Masked sum-squared loss: diff rows outside the batch are
             // zeroed *before* the norm, so with a full mask this is
@@ -569,8 +745,15 @@ pub(crate) fn device_body_masked(
             }
             let local_loss = 0.5 * diff.norm_sq();
             let mut grad = diff;
-            for layer in net.layers_mut().iter_mut().rev() {
+            for (l, layer) in net.layers_mut().iter_mut().enumerate().rev() {
                 let (grad_agg, direct) = layer.backward_agg(&grad);
+                if l == 0 && halo.is_some() {
+                    // Layer 0's aggregate gradient would flow only into
+                    // the raw input features, which don't learn; with
+                    // the halo active every rank skips the dead exchange
+                    // together, keeping op counters aligned.
+                    break;
+                }
                 let back = backend.agg_backward(handle, &grad_agg, agg_kind)?;
                 grad = crate::trainer::fold_direct(back, direct);
             }
@@ -585,6 +768,7 @@ pub(crate) fn device_body_masked(
         backend,
         agg_kind,
         &per_device_features[rank],
+        halo.as_ref(),
     )?;
     Ok((losses, out))
 }
@@ -661,5 +845,50 @@ mod tests {
     fn exact_config_is_detected() {
         assert!(SamplingConfig::exact(8, 2).is_exact());
         assert!(!SamplingConfig::new(8, vec![None, Some(3)]).is_exact());
+    }
+
+    #[test]
+    fn gather_plan_serves_duplicate_rows_from_one_copy() {
+        // Request list repeats rows; each unique row is held once in the
+        // plan and every occurrence assembles from that single copy.
+        let values = Matrix::from_vec(4, 2, (0..8).map(|i| i as f32).collect());
+        let have: Vec<VertexId> = vec![0, 1, 2, 3];
+        let partition = vec![0u32; 4];
+        let rows: Vec<VertexId> = vec![2, 0, 2, 3, 0];
+        let plan = GatherPlan::build(&rows, &partition, 1, 0, &have, &values);
+        assert_eq!(plan.own.rows(), 3, "unique rows only");
+        assert!(plan.sends.is_empty() && plan.recvs.is_empty());
+        let fabric = Fabric::new(1);
+        let out = execute_gather(&fabric, 0, 0, &plan).unwrap();
+        assert_eq!(out.rows(), rows.len());
+        for (i, &v) in rows.iter().enumerate() {
+            assert_eq!(out.row(i), values.row(v as usize), "occurrence {i}");
+        }
+    }
+
+    #[test]
+    fn gather_plan_sends_mirror_peer_recvs_with_dedup() {
+        // Two ranks build plans for the same duplicated request list;
+        // the sender's unique row blocks must match the receiver's
+        // expected wire counts, and every occurrence gets a placement.
+        let values = Matrix::from_vec(4, 1, vec![10.0, 11.0, 12.0, 13.0]);
+        let partition = vec![0u32, 0, 1, 1];
+        let have0: Vec<VertexId> = vec![0, 1];
+        let have1: Vec<VertexId> = vec![2, 3];
+        let v0 = values.gather_rows(&[0, 1]);
+        let v1 = values.gather_rows(&[2, 3]);
+        let rows: Vec<VertexId> = vec![2, 0, 2, 3, 0];
+        let p0 = GatherPlan::build(&rows, &partition, 2, 0, &have0, &v0);
+        let p1 = GatherPlan::build(&rows, &partition, 2, 1, &have1, &v1);
+        // Unique owned rows: rank 0 holds {0}, rank 1 holds {2, 3}.
+        assert_eq!(p0.own.rows(), 1);
+        assert_eq!(p1.own.rows(), 2);
+        assert_eq!(p0.sends, vec![(1, vec![0])]);
+        assert_eq!(p1.sends, vec![(0, vec![0, 1])]);
+        assert_eq!(p0.recvs.len(), 1);
+        let (peer, wire, place) = &p0.recvs[0];
+        assert_eq!((*peer, *wire), (1, 2));
+        let placed = p0.own_place.len() + p0.cached_place.len() + place.len();
+        assert_eq!(placed, rows.len(), "every occurrence placed exactly once");
     }
 }

@@ -33,12 +33,15 @@
 //! training is distributed but each inference replica is standalone.
 
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dgcl_gnn::{AggKind, GnnNetwork};
 use dgcl_graph::{k_hop_closure_sparse, CsrGraph, GraphError, VertexId};
 use dgcl_tensor::Matrix;
+
+use crate::featcache::{CacheStats, CacheStatsSnapshot};
 
 /// Micro-batching policy for an [`InferenceServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +52,13 @@ pub struct ServingConfig {
     /// Flush once the oldest queued request has waited this long, even
     /// if the batch is not full.
     pub max_delay: Duration,
+    /// Bound the resident layer-0 table to this many rows. `None` (the
+    /// default) keeps the full table; `Some(c)` retains only the `c`
+    /// highest-degree vertices' rows (ascending id on ties) and
+    /// recomputes misses per flush from the raw features — bitwise
+    /// identical either way, trading memory for per-flush compute.
+    /// [`InferenceServer::cache_stats`] reports the hit/miss counters.
+    pub cache_rows: Option<usize>,
 }
 
 impl Default for ServingConfig {
@@ -56,6 +66,7 @@ impl Default for ServingConfig {
         Self {
             max_batch: 16,
             max_delay: Duration::from_millis(2),
+            cache_rows: None,
         }
     }
 }
@@ -68,6 +79,7 @@ impl ServingConfig {
         Self {
             max_batch: 1,
             max_delay: Duration::ZERO,
+            cache_rows: None,
         }
     }
 }
@@ -112,6 +124,78 @@ enum Req {
     Shutdown,
 }
 
+/// The flush's layer-0 source: the full precomputed table, or a
+/// degree-bounded cache of it with per-flush miss recomputation.
+enum Layer0 {
+    /// Every vertex's layer-0 output, as computed at spawn.
+    Full(Matrix),
+    /// Only the hottest vertices' rows stay resident; misses recompute
+    /// from the raw features (bitwise identical to the dropped rows).
+    Cached {
+        /// Cached global ids, ascending.
+        ids: Vec<VertexId>,
+        /// `rows[i]` is `ids[i]`'s layer-0 output row.
+        rows: Matrix,
+        /// Raw features, retained for miss recomputation.
+        features: Matrix,
+        /// Hit/miss counters shared with [`InferenceServer::cache_stats`].
+        stats: Arc<CacheStats>,
+    },
+}
+
+impl Layer0 {
+    /// The layer-0 output rows for `set` (sorted, deduped global ids) —
+    /// bitwise identical to the same rows of the full spawn-time table.
+    fn gather(&self, graph: &CsrGraph, net: &mut GnnNetwork, set: &[VertexId]) -> Matrix {
+        match self {
+            Layer0::Full(h1) => {
+                let idx: Vec<usize> = set.iter().map(|&v| v as usize).collect();
+                h1.gather_rows(&idx)
+            }
+            Layer0::Cached {
+                ids,
+                rows,
+                features,
+                stats,
+            } => {
+                let misses: Vec<VertexId> = set
+                    .iter()
+                    .copied()
+                    .filter(|v| ids.binary_search(v).is_err())
+                    .collect();
+                let recomputed = if misses.is_empty() {
+                    Matrix::zeros(0, rows.cols())
+                } else {
+                    // The per-row slice of layer 0's spawn-time forward:
+                    // same adjacency-order aggregation, same row-wise
+                    // layer math, so recomputed rows are bitwise equal.
+                    let kind = net.layers()[0].arch().agg_kind();
+                    let agg = full_aggregate_rows(graph, features, &misses, kind);
+                    let midx: Vec<usize> = misses.iter().map(|&v| v as usize).collect();
+                    let h_self = features.gather_rows(&midx);
+                    net.layers_mut()[0].forward_agg(&h_self, agg)
+                };
+                let mut out = Matrix::zeros(set.len(), rows.cols());
+                for (i, &v) in set.iter().enumerate() {
+                    match ids.binary_search(&v) {
+                        Ok(ci) => out.set_row(i, rows.row(ci)),
+                        Err(_) => {
+                            let mi = misses.binary_search(&v).expect("miss recorded");
+                            out.set_row(i, recomputed.row(mi));
+                        }
+                    }
+                }
+                stats.record(
+                    (set.len() - misses.len()) as u64,
+                    misses.len() as u64,
+                    rows.cols(),
+                );
+                out
+            }
+        }
+    }
+}
+
 /// A standalone batched inference server over a trained model.
 ///
 /// Spawning precomputes the layer-0 output for every vertex (the only
@@ -122,6 +206,7 @@ pub struct InferenceServer {
     tx: Sender<Req>,
     join: Option<JoinHandle<()>>,
     num_vertices: usize,
+    cache: Option<(Arc<CacheStats>, u64)>,
 }
 
 impl InferenceServer {
@@ -148,16 +233,54 @@ impl InferenceServer {
         // vertex; computing it once here is exactly the first step of
         // GnnNetwork::forward, so cached rows are bitwise right.
         let h1 = net.layers_mut()[0].forward(&graph, features, n);
+        let (layer0, cache) = match cfg.cache_rows {
+            None => (Layer0::Full(h1), None),
+            Some(c) => {
+                // Retain the highest-degree rows (the ones k-hop
+                // closures touch most often on skewed graphs).
+                let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+                order.sort_by(|&a, &b| {
+                    graph
+                        .out_degree(b)
+                        .cmp(&graph.out_degree(a))
+                        .then(a.cmp(&b))
+                });
+                order.truncate(c.min(n));
+                order.sort_unstable();
+                let idx: Vec<usize> = order.iter().map(|&v| v as usize).collect();
+                let rows = h1.gather_rows(&idx);
+                let stats = Arc::new(CacheStats::default());
+                let capacity = order.len() as u64;
+                (
+                    Layer0::Cached {
+                        ids: order,
+                        rows,
+                        features: features.clone(),
+                        stats: Arc::clone(&stats),
+                    },
+                    Some((stats, capacity)),
+                )
+            }
+        };
         let (tx, rx) = channel::<Req>();
         let max_batch = cfg.max_batch.max(1);
         let join = std::thread::spawn(move || {
-            serve_loop(&rx, &graph, &mut net, &h1, max_batch, cfg.max_delay);
+            serve_loop(&rx, &graph, &mut net, &layer0, max_batch, cfg.max_delay);
         });
         Self {
             tx,
             join: Some(join),
             num_vertices: n,
+            cache,
         }
+    }
+
+    /// Layer-0 cache counters, when [`ServingConfig::cache_rows`] bounds
+    /// the table (`None` for the full-table server).
+    pub fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        self.cache
+            .as_ref()
+            .map(|(stats, capacity)| stats.snapshot(*capacity))
     }
 
     /// Enqueues a query for vertex `v`'s embedding.
@@ -199,11 +322,13 @@ fn serve_loop(
     rx: &Receiver<Req>,
     graph: &CsrGraph,
     net: &mut GnnNetwork,
-    h1: &Matrix,
+    layer0: &Layer0,
     max_batch: usize,
     max_delay: Duration,
 ) {
     let mut queue: Vec<(VertexId, Sender<ServedReply>)> = Vec::new();
+    // Per-flush seed scratch, recycled across flushes.
+    let mut seeds: Vec<VertexId> = Vec::new();
     let mut oldest = Instant::now();
     loop {
         let msg = if queue.is_empty() {
@@ -226,33 +351,37 @@ fn serve_loop(
                 }
                 queue.push((v, reply));
                 if queue.len() >= max_batch {
-                    flush(graph, net, h1, &mut queue);
+                    flush(graph, net, layer0, &mut queue, &mut seeds);
                 }
             }
             Some(Req::Shutdown) => break,
             // Deadline trigger: the oldest request has waited long
             // enough; serve whatever is queued.
-            None => flush(graph, net, h1, &mut queue),
+            None => flush(graph, net, layer0, &mut queue, &mut seeds),
         }
     }
     // Drain on shutdown so no ServedFuture hangs forever.
-    flush(graph, net, h1, &mut queue);
+    flush(graph, net, layer0, &mut queue, &mut seeds);
 }
 
 /// Serves every queued request in one batch and empties the queue.
+/// `seeds` is caller-owned scratch, cleared and refilled here so its
+/// allocation recycles across flushes.
 fn flush(
     graph: &CsrGraph,
     net: &mut GnnNetwork,
-    h1: &Matrix,
+    layer0: &Layer0,
     queue: &mut Vec<(VertexId, Sender<ServedReply>)>,
+    seeds: &mut Vec<VertexId>,
 ) {
     if queue.is_empty() {
         return;
     }
-    let mut seeds: Vec<VertexId> = queue.iter().map(|(v, _)| *v).collect();
+    seeds.clear();
+    seeds.extend(queue.iter().map(|(v, _)| *v));
     seeds.sort_unstable();
     seeds.dedup();
-    let out = forward_tail(graph, net, h1, &seeds);
+    let out = forward_tail(graph, net, layer0, seeds);
     let batch_size = queue.len();
     let completed = Instant::now();
     for (v, reply) in queue.drain(..) {
@@ -266,14 +395,18 @@ fn flush(
 }
 
 /// Runs layers `1..L` for `seeds` (sorted, deduped, in range) from the
-/// cached layer-0 output, over the sparse input closure of the batch.
-/// Row `i` of the result is bitwise identical to row `seeds[i]` of the
+/// layer-0 source, over the sparse input closure of the batch. Row `i`
+/// of the result is bitwise identical to row `seeds[i]` of the
 /// full-graph forward.
-fn forward_tail(graph: &CsrGraph, net: &mut GnnNetwork, h1: &Matrix, seeds: &[VertexId]) -> Matrix {
+fn forward_tail(
+    graph: &CsrGraph,
+    net: &mut GnnNetwork,
+    layer0: &Layer0,
+    seeds: &[VertexId],
+) -> Matrix {
     let num_layers = net.num_layers();
-    let idx: Vec<usize> = seeds.iter().map(|&v| v as usize).collect();
     if num_layers == 1 {
-        return h1.gather_rows(&idx);
+        return layer0.gather(graph, net, seeds);
     }
     // out_sets[l] (1 <= l < L): the vertices whose layer-l output the
     // flush needs. Built top-down: the last layer needs the seeds, each
@@ -291,8 +424,7 @@ fn forward_tail(graph: &CsrGraph, net: &mut GnnNetwork, h1: &Matrix, seeds: &[Ve
     let mut in_set = k_hop_closure_sparse(graph, &out_sets[1], 1)
         .expect("seeds validated at query time")
         .into_visited();
-    let in_idx: Vec<usize> = in_set.iter().map(|&v| v as usize).collect();
-    let mut h = h1.gather_rows(&in_idx);
+    let mut h = layer0.gather(graph, net, &in_set);
     for (l, out_set) in out_sets.into_iter().enumerate().skip(1) {
         let kind = net.layers()[l].arch().agg_kind();
         let agg = tail_aggregate(graph, &h, &in_set, &out_set, kind);
@@ -305,6 +437,40 @@ fn forward_tail(graph: &CsrGraph, net: &mut GnnNetwork, h1: &Matrix, seeds: &[Ve
         in_set = out_set;
     }
     h
+}
+
+/// Full-neighbourhood aggregation over the *whole* feature matrix for a
+/// subset of output rows — the row slice of
+/// `dgcl_gnn::aggregate::aggregate_sum`/`_mean` (same adjacency order,
+/// same accumulator, same `deg > 1` mean divisor), so each output row is
+/// bitwise identical to the corresponding full-kernel row. Used to
+/// recompute evicted layer-0 rows.
+fn full_aggregate_rows(
+    graph: &CsrGraph,
+    h: &Matrix,
+    out_rows: &[VertexId],
+    kind: AggKind,
+) -> Matrix {
+    let cols = h.cols();
+    let mut out = Matrix::zeros(out_rows.len(), cols);
+    for (i, &v) in out_rows.iter().enumerate() {
+        let row = out.row_mut(i);
+        for &u in graph.neighbors(v) {
+            for (o, &x) in row.iter_mut().zip(h.row(u as usize)) {
+                *o += x;
+            }
+        }
+        if kind == AggKind::Mean {
+            let deg = graph.out_degree(v);
+            if deg > 1 {
+                let inv = 1.0 / deg as f32;
+                for o in row {
+                    *o *= inv;
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Full-neighbourhood aggregation where the value matrix `h` holds only
@@ -410,6 +576,7 @@ mod tests {
                 max_batch: 4,
                 // Effectively never: only the size trigger can flush.
                 max_delay: Duration::from_secs(3600),
+                cache_rows: None,
             },
         );
         let futs: Vec<ServedFuture> = (0..4).map(|v| server.query(v).expect("ok")).collect();
@@ -431,6 +598,7 @@ mod tests {
             ServingConfig {
                 max_batch: 1024,
                 max_delay: Duration::from_millis(5),
+                cache_rows: None,
             },
         );
         let reply = server
@@ -461,6 +629,7 @@ mod tests {
             ServingConfig {
                 max_batch: 3,
                 max_delay: Duration::from_secs(3600),
+                cache_rows: None,
             },
         );
         let futs: Vec<ServedFuture> = [9u32, 9, 9]
@@ -477,6 +646,53 @@ mod tests {
     }
 
     #[test]
+    fn bounded_cache_replies_are_bitwise_and_counted() {
+        // Every cache bound — zero, partial, full — serves bitwise the
+        // same embeddings; only the hit/miss counters differ.
+        for arch in [Architecture::Gcn, Architecture::Gin] {
+            let (graph, features, net) = setup(arch, &[6, 5, 3]);
+            let full = net.clone().forward(&graph, &features);
+            let n = graph.num_vertices();
+            for cache_rows in [Some(0), Some(n / 8), Some(n)] {
+                let cfg = ServingConfig {
+                    cache_rows,
+                    ..ServingConfig::default()
+                };
+                let server = InferenceServer::spawn(&graph, &features, &net, cfg);
+                let probes: Vec<VertexId> = (0..n as VertexId).step_by(41).collect();
+                let futures: Vec<(VertexId, ServedFuture)> = probes
+                    .iter()
+                    .map(|&v| (v, server.query(v).expect("in range")))
+                    .collect();
+                for (v, fut) in futures {
+                    let reply = fut.wait().expect("server alive");
+                    assert_eq!(
+                        reply.embedding.as_slice(),
+                        full.row(v as usize),
+                        "{arch:?} cache_rows={cache_rows:?}: row {v}"
+                    );
+                }
+                let stats = server.cache_stats().expect("cache configured");
+                assert_eq!(stats.capacity_rows, cache_rows.unwrap() as u64);
+                assert!(stats.hits + stats.misses > 0, "flushes counted");
+                if cache_rows == Some(0) {
+                    assert_eq!(stats.hits, 0, "empty cache cannot hit");
+                }
+                if cache_rows == Some(n) {
+                    assert_eq!(stats.misses, 0, "full cache cannot miss");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uncached_server_reports_no_stats() {
+        let (graph, features, net) = setup(Architecture::Gcn, &[6, 4]);
+        let server = InferenceServer::spawn(&graph, &features, &net, ServingConfig::default());
+        assert!(server.cache_stats().is_none());
+    }
+
+    #[test]
     fn shutdown_drains_the_queue() {
         let (graph, features, net) = setup(Architecture::Gcn, &[6, 5, 3]);
         let full = net.clone().forward(&graph, &features);
@@ -487,6 +703,7 @@ mod tests {
             ServingConfig {
                 max_batch: 1024,
                 max_delay: Duration::from_secs(3600),
+                cache_rows: None,
             },
         );
         let fut = server.query(3).expect("ok");

@@ -26,6 +26,7 @@ use crate::collectives::{AlgorithmSelector, AllreduceAlgo, AllreducePolicy};
 use crate::comm_info::CommInfo;
 use crate::error::{ClusterError, RuntimeError};
 use crate::fabric::FabricConfig;
+use crate::featcache::{CachePolicy, CacheStatsSnapshot, ClusterCache, HaloGatherCtx};
 use crate::runtime::{run_cluster_with, ExecStrategy};
 
 /// Training hyper-parameters.
@@ -67,6 +68,12 @@ pub struct TrainConfig {
     /// fanout ∞ and one batch covering every vertex the sampled run is
     /// bitwise identical to the full-batch one.
     pub sampling: Option<crate::sampling::SamplingConfig>,
+    /// Hot-vertex remote feature cache override. `None` (the default)
+    /// runs the policy recorded at build time
+    /// ([`crate::BuildOptions::feature_cache`]); `Some(policy)` forces
+    /// one for this run. Caching changes gather *volume* only — every
+    /// run is bitwise identical to [`CachePolicy::Off`].
+    pub feature_cache: Option<CachePolicy>,
 }
 
 impl TrainConfig {
@@ -83,6 +90,7 @@ impl TrainConfig {
             allreduce: None,
             backend: None,
             sampling: None,
+            feature_cache: None,
         }
     }
 }
@@ -94,6 +102,9 @@ pub struct TrainReport {
     pub epoch_losses: Vec<f32>,
     /// Final output embeddings in global vertex order.
     pub outputs: Matrix,
+    /// Cluster-total feature-cache counters, when a cache was active
+    /// (`None` for single-device runs and [`CachePolicy::Off`]).
+    pub cache: Option<CacheStatsSnapshot>,
 }
 
 /// Trains on a single device (the reference the distributed run must
@@ -121,6 +132,7 @@ pub fn train_single(
     TrainReport {
         epoch_losses: losses,
         outputs,
+        cache: None,
     }
 }
 
@@ -284,9 +296,18 @@ pub fn train_distributed_resumable(
             info.num_devices()
         );
     }
+    // Resolve the feature-cache policy and materialise the per-rank
+    // caches once at the driver; every rank reads the same copies.
+    let cache_policy = cfg.feature_cache.unwrap_or(info.feature_cache.policy);
+    let cache = ClusterCache::build(info, features, cache_policy);
+    // With a cache active on the planned backend, full-batch layer 0
+    // routes through the cache-aware halo exchange.
+    let use_halo = cache.is_some() && backend_kind == BackendKind::Planned;
+    let halo_cache = if use_halo { cache.as_ref() } else { None };
     // The eager next-epoch allgather only makes sense on the planned
-    // backend (CAGNET never runs the vertex-cut exchange).
-    let eager_gather = backend_kind == BackendKind::Planned;
+    // backend (CAGNET never runs the vertex-cut exchange), and is
+    // superseded by the halo exchange when the cache is on.
+    let eager_gather = backend_kind == BackendKind::Planned && !use_halo;
     // The initial replica is built once at the driver: every rank clones
     // it, so a resumed attempt restores the checkpoint exactly once.
     let mut net0 = GnnNetwork::new(cfg.arch, &cfg.dims, cfg.weight_seed);
@@ -328,6 +349,8 @@ pub fn train_distributed_resumable(
                     backend.as_ref(),
                     &per_device_features,
                     &per_device_targets,
+                    cache.as_ref(),
+                    use_halo,
                 )
             } else {
                 crate::sampling::device_body_sampled(
@@ -340,6 +363,8 @@ pub fn train_distributed_resumable(
                     backend.as_ref(),
                     &per_device_features,
                     &per_device_targets,
+                    cache.as_ref(),
+                    use_halo,
                 )
             }
         } else if cfg.overlap {
@@ -353,6 +378,7 @@ pub fn train_distributed_resumable(
                 eager_gather,
                 &per_device_features,
                 &per_device_targets,
+                halo_cache,
             )
         } else {
             let backend = backend_for(backend_kind, ExecStrategy::Barriered);
@@ -364,6 +390,7 @@ pub fn train_distributed_resumable(
                 backend.as_ref(),
                 &per_device_features,
                 &per_device_targets,
+                halo_cache,
             )
         }
     })?;
@@ -374,6 +401,7 @@ pub fn train_distributed_resumable(
     Ok(TrainReport {
         epoch_losses: losses,
         outputs,
+        cache: cache.as_ref().map(ClusterCache::snapshot),
     })
 }
 
@@ -403,17 +431,24 @@ fn device_body_barriered(
     backend: &dyn CommBackend,
     per_device_features: &[Matrix],
     per_device_targets: &[Matrix],
+    halo_cache: Option<&ClusterCache>,
 ) -> Result<(Vec<f32>, Matrix), RuntimeError> {
     let rank = handle.rank;
     let agg_kind = cfg.arch.agg_kind();
     let mut net = net0.clone();
+    let halo = HaloGatherCtx::build(handle.comm_info(), rank, halo_cache);
     let mut losses = Vec::with_capacity(ctx.end_epoch - ctx.start_epoch);
     let forward = |net: &mut GnnNetwork,
                    handle: &crate::runtime::DeviceHandle<'_>|
      -> Result<Matrix, RuntimeError> {
         let mut h = per_device_features[rank].clone();
-        for layer in net.layers_mut() {
-            let agg = backend.agg_forward(handle, &h, agg_kind)?;
+        for (l, layer) in net.layers_mut().iter_mut().enumerate() {
+            let agg = match (l, &halo) {
+                // Layer 0 reads the immutable raw features: with a cache
+                // active, the halo exchange fills cached rows locally.
+                (0, Some(hctx)) => hctx.agg_forward(handle, &h, agg_kind)?,
+                _ => backend.agg_forward(handle, &h, agg_kind)?,
+            };
             h = layer.forward_agg(&h, agg);
         }
         Ok(h)
@@ -425,8 +460,14 @@ fn device_body_barriered(
         // Backward through the layers, routing each layer's aggregate
         // gradient through the backend's adjoint exchange.
         let mut grad = grad_out;
-        for layer in net.layers_mut().iter_mut().rev() {
+        for (l, layer) in net.layers_mut().iter_mut().enumerate().rev() {
             let (grad_agg, direct) = layer.backward_agg(&grad);
+            if l == 0 && halo.is_some() {
+                // Layer 0's aggregate gradient flows only into the raw
+                // features, which don't learn; every rank skips the dead
+                // exchange together, keeping op counters aligned.
+                break;
+            }
             let back = backend.agg_backward(handle, &grad_agg, agg_kind)?;
             grad = fold_direct(back, direct);
         }
@@ -476,6 +517,7 @@ fn device_body_overlapped(
     eager_gather: bool,
     per_device_features: &[Matrix],
     per_device_targets: &[Matrix],
+    halo_cache: Option<&ClusterCache>,
 ) -> Result<(Vec<f32>, Matrix), RuntimeError> {
     let rank = handle.rank;
     let lg = handle.local_graph();
@@ -483,6 +525,7 @@ fn device_body_overlapped(
     let num_local = lg.num_local;
     let agg_kind = cfg.arch.agg_kind();
     let mut net = net0.clone();
+    let halo = HaloGatherCtx::build(handle.comm_info(), rank, halo_cache);
     let num_layers = net.num_layers();
     let mut losses = Vec::with_capacity(ctx.end_epoch - ctx.start_epoch);
     let worker = handle.overlap_worker();
@@ -492,18 +535,21 @@ fn device_body_overlapped(
      -> Result<Matrix, RuntimeError> {
         let mut h = per_device_features[rank].clone();
         let mut first = first;
-        for layer in net.layers_mut() {
-            let agg = match first.take() {
+        for (l, layer) in net.layers_mut().iter_mut().enumerate() {
+            let agg = match (first.take(), l, &halo) {
                 // The eagerly posted allgather runs the same pipelined
                 // executor the planned backend would invoke here.
-                Some(p) => {
+                (Some(p), _, _) => {
                     let full = handle.wait_pending(p)?;
                     match agg_kind {
                         AggKind::Sum => aggregate_sum(adj, &full, num_local),
                         AggKind::Mean => aggregate_mean(adj, &full, num_local),
                     }
                 }
-                None => backend.agg_forward(handle, &h, agg_kind)?,
+                // With a cache active (which disables the eager gather),
+                // layer 0's exchange routes through the cache-aware halo.
+                (None, 0, Some(hctx)) => hctx.agg_forward(handle, &h, agg_kind)?,
+                _ => backend.agg_forward(handle, &h, agg_kind)?,
             };
             h = layer.forward_agg(&h, agg);
         }
@@ -530,10 +576,16 @@ fn device_body_overlapped(
         // Backward deepest layer first; each layer's gradient bucket
         // reduces while the next layer's backward computes.
         let mut grad = grad_out;
-        for layer in net.layers_mut().iter_mut().rev() {
+        for (l, layer) in net.layers_mut().iter_mut().enumerate().rev() {
             let (grad_agg, direct) = layer.backward_agg(&grad);
-            let back = backend.agg_backward(handle, &grad_agg, agg_kind)?;
-            grad = fold_direct(back, direct);
+            if !(l == 0 && halo.is_some()) {
+                let back = backend.agg_backward(handle, &grad_agg, agg_kind)?;
+                grad = fold_direct(back, direct);
+            }
+            // Layer 0's aggregate gradient (skipped above with the halo
+            // active — it flows only into the non-learning raw features)
+            // never feeds the parameter gradients, so the bucket still
+            // submits in the fixed order.
             let mats: Vec<Matrix> = layer.gradients().into_iter().cloned().collect();
             buckets.push(handle.submit_allreduce(&worker, mats)?);
         }

@@ -1,0 +1,87 @@
+//! Counting-allocator regression test for the per-batch sampling pool.
+//!
+//! [`BlockPool`] exists so steady-state sampled training stops paying the
+//! allocator per batch: block carcasses, chain containers and scratch all
+//! recycle. This binary installs a counting `#[global_allocator]` and pins
+//! the contract — **a warm pool samples a batch with zero heap
+//! allocations** — so a future "harmless" `collect()` inside the hot path
+//! fails CI instead of silently re-inflating allocator traffic.
+//!
+//! Everything lives in one `#[test]` so no sibling test can allocate
+//! concurrently and pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dgcl_graph::{sample_blocks, BlockPool, CsrGraph, VertexId};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_pool_samples_with_zero_allocations() {
+    let graph: CsrGraph = dgcl_graph::generators::hub_attachment(2_000, 20, 0.8, 7);
+    let seeds: Vec<VertexId> = (0..128).map(|i| i * 13 % 2_000).collect();
+    let fanouts = [Some(4), Some(3)];
+
+    // The plain path allocates every batch — the baseline the pool beats.
+    let before_plain = allocs();
+    let plain = sample_blocks(&graph, &seeds, &fanouts, 1).expect("seeds in range");
+    let plain_allocs = allocs() - before_plain;
+    assert!(plain_allocs > 0, "unpooled sampling must hit the allocator");
+
+    // Warm the pool over the same seed schedule the measurement replays:
+    // the first pass grows every Vec to the schedule's high-water mark.
+    let mut pool = BlockPool::new();
+    for round in 0u64..5 {
+        let chain = pool
+            .sample_blocks(&graph, &seeds, &fanouts, 1 + round)
+            .expect("seeds in range");
+        pool.recycle(chain);
+    }
+
+    // Steady state: identical batch shapes, zero allocator traffic.
+    let before = allocs();
+    for round in 0u64..5 {
+        let chain = pool
+            .sample_blocks(&graph, &seeds, &fanouts, 1 + round)
+            .expect("seeds in range");
+        pool.recycle(chain);
+    }
+    let steady = allocs() - before;
+    assert_eq!(
+        steady, 0,
+        "warm BlockPool allocated {steady} times over 5 batches \
+         (plain path: {plain_allocs} per batch)"
+    );
+
+    // The pooled output is still the plain output, bit for bit.
+    let chain = pool
+        .sample_blocks(&graph, &seeds, &fanouts, 1)
+        .expect("seeds in range");
+    assert_eq!(chain, plain, "pooling changed the sampled blocks");
+}

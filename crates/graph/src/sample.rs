@@ -71,7 +71,7 @@ pub fn round_seed(seed: u64, epoch: usize, batch: usize) -> u64 {
 /// This is deliberately *not* a [`CsrGraph`]: the block is rectangular
 /// (`targets` index `src` rows, of which there are more than `dst` rows),
 /// which the square CSR invariants reject.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LayerBlock {
     /// Destination (output) vertices, global ids, sorted ascending.
     pub dst: Vec<VertexId>,
@@ -111,24 +111,79 @@ impl LayerBlock {
 }
 
 /// Chooses the sampled neighbor *positions* (indices into `v`'s
-/// adjacency list) for one vertex: all of them when `fanout` is `None`
-/// or the degree fits, otherwise a partial Fisher–Yates draw of `f`
-/// distinct positions, emitted in ascending position order so the
+/// adjacency list) for one vertex into `idx`: all of them when `fanout`
+/// is `None` or the degree fits, otherwise a partial Fisher–Yates draw
+/// of `f` distinct positions, emitted in ascending position order so the
 /// surviving neighbors keep the adjacency list's order.
-fn chosen_positions(deg: usize, fanout: Option<usize>, rng: &mut SampleRng) -> Vec<usize> {
-    match fanout {
-        Some(f) if deg > f => {
-            let mut idx: Vec<usize> = (0..deg).collect();
+fn chosen_positions(deg: usize, fanout: Option<usize>, rng: &mut SampleRng, idx: &mut Vec<usize>) {
+    idx.clear();
+    idx.extend(0..deg);
+    if let Some(f) = fanout {
+        if deg > f {
             for i in 0..f {
                 let j = i + rng.below(deg - i);
                 idx.swap(i, j);
             }
             idx.truncate(f);
             idx.sort_unstable();
-            idx
         }
-        _ => (0..deg).collect(),
     }
+}
+
+/// [`build_block`] into a recycled carcass: fills `block` in place
+/// (every `Vec` is `clear()`ed, keeping its capacity) using `flat` /
+/// `idx` as scratch. Identical output to a fresh build.
+#[allow(clippy::too_many_arguments)]
+fn build_block_into(
+    graph: &CsrGraph,
+    dst: &[VertexId],
+    fanout: Option<usize>,
+    seed: u64,
+    layer: usize,
+    block: &mut LayerBlock,
+    flat: &mut Vec<VertexId>,
+    idx: &mut Vec<usize>,
+) -> Result<(), GraphError> {
+    let n = graph.num_vertices();
+    debug_assert!(dst.windows(2).all(|w| w[0] < w[1]), "dst sorted + deduped");
+    block.offsets.clear();
+    block.offsets.push(0usize);
+    // Chosen neighbors by global id, flat, rows delimited by `offsets`.
+    flat.clear();
+    for &v in dst {
+        if (v as usize) >= n {
+            return Err(GraphError::SeedOutOfRange {
+                seed: v,
+                num_vertices: n,
+            });
+        }
+        let neigh = graph.neighbors(v);
+        let mut rng = SampleRng::for_vertex(seed, layer, v);
+        chosen_positions(neigh.len(), fanout, &mut rng, idx);
+        for &p in idx.iter() {
+            flat.push(neigh[p]);
+        }
+        block.offsets.push(flat.len());
+    }
+    block.dst.clear();
+    block.dst.extend_from_slice(dst);
+    block.src.clear();
+    block.src.extend_from_slice(dst);
+    block.src.extend_from_slice(flat);
+    block.src.sort_unstable();
+    block.src.dedup();
+    let LayerBlock {
+        src,
+        dst_pos,
+        targets,
+        ..
+    } = block;
+    let pos = |v: VertexId| src.binary_search(&v).expect("member of src") as u32;
+    dst_pos.clear();
+    dst_pos.extend(dst.iter().map(|&v| pos(v)));
+    targets.clear();
+    targets.extend(flat.iter().map(|&v| pos(v)));
+    Ok(())
 }
 
 /// Builds the sampled block for one layer: `dst` (sorted, deduplicated
@@ -145,40 +200,18 @@ pub fn build_block(
     seed: u64,
     layer: usize,
 ) -> Result<LayerBlock, GraphError> {
-    let n = graph.num_vertices();
-    debug_assert!(dst.windows(2).all(|w| w[0] < w[1]), "dst sorted + deduped");
-    let mut offsets = Vec::with_capacity(dst.len() + 1);
-    offsets.push(0usize);
-    // Chosen neighbors by global id, flat, rows delimited by `offsets`.
-    let mut flat: Vec<VertexId> = Vec::new();
-    for &v in dst {
-        if (v as usize) >= n {
-            return Err(GraphError::SeedOutOfRange {
-                seed: v,
-                num_vertices: n,
-            });
-        }
-        let neigh = graph.neighbors(v);
-        let mut rng = SampleRng::for_vertex(seed, layer, v);
-        for p in chosen_positions(neigh.len(), fanout, &mut rng) {
-            flat.push(neigh[p]);
-        }
-        offsets.push(flat.len());
-    }
-    let mut src: Vec<VertexId> = dst.to_vec();
-    src.extend_from_slice(&flat);
-    src.sort_unstable();
-    src.dedup();
-    let pos = |v: VertexId| src.binary_search(&v).expect("member of src") as u32;
-    let dst_pos: Vec<u32> = dst.iter().map(|&v| pos(v)).collect();
-    let targets: Vec<u32> = flat.iter().map(|&v| pos(v)).collect();
-    Ok(LayerBlock {
-        dst: dst.to_vec(),
-        src,
-        dst_pos,
-        offsets,
-        targets,
-    })
+    let mut block = LayerBlock::default();
+    build_block_into(
+        graph,
+        dst,
+        fanout,
+        seed,
+        layer,
+        &mut block,
+        &mut Vec::new(),
+        &mut Vec::new(),
+    )?;
+    Ok(block)
 }
 
 /// The sorted global source set [`build_block`] would produce for the
@@ -230,6 +263,87 @@ pub fn sample_blocks(
     }
     rev.reverse();
     Ok(rev)
+}
+
+/// Recycles per-batch sampling allocations across batches: finished
+/// chains return their block carcasses (every `Vec` keeps its capacity)
+/// and the pool's internal scratch is reused, so a warm pool samples a
+/// steady-state batch with **zero** heap allocations — pinned by the
+/// counting-allocator regression test in `dgcl-core`.
+#[derive(Debug, Default)]
+pub struct BlockPool {
+    /// Spare block carcasses, fields cleared but capacity retained.
+    spares: Vec<LayerBlock>,
+    /// Spare chain containers.
+    chains: Vec<Vec<LayerBlock>>,
+    dst: Vec<VertexId>,
+    flat: Vec<VertexId>,
+    idx: Vec<usize>,
+}
+
+impl BlockPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a finished chain — blocks and container alike — to the
+    /// pool for the next batch.
+    pub fn recycle(&mut self, mut chain: Vec<LayerBlock>) {
+        self.spares.append(&mut chain);
+        self.chains.push(chain);
+    }
+
+    /// [`sample_blocks`] drawing every allocation from the pool:
+    /// identical output, but a warm pool (after [`BlockPool::recycle`])
+    /// allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SeedOutOfRange`] if any seed is out of range.
+    pub fn sample_blocks(
+        &mut self,
+        graph: &CsrGraph,
+        seeds: &[VertexId],
+        fanouts: &[Option<usize>],
+        seed: u64,
+    ) -> Result<Vec<LayerBlock>, GraphError> {
+        let n = graph.num_vertices();
+        self.dst.clear();
+        self.dst.extend_from_slice(seeds);
+        self.dst.sort_unstable();
+        self.dst.dedup();
+        if let Some(&bad) = self.dst.iter().find(|&&v| (v as usize) >= n) {
+            return Err(GraphError::SeedOutOfRange {
+                seed: bad,
+                num_vertices: n,
+            });
+        }
+        let mut chain = self.chains.pop().unwrap_or_default();
+        debug_assert!(chain.is_empty(), "recycled chains come back empty");
+        for layer in (0..fanouts.len()).rev() {
+            let mut block = self.spares.pop().unwrap_or_default();
+            if let Err(e) = build_block_into(
+                graph,
+                &self.dst,
+                fanouts[layer],
+                seed,
+                layer,
+                &mut block,
+                &mut self.flat,
+                &mut self.idx,
+            ) {
+                chain.push(block);
+                self.recycle(chain);
+                return Err(e);
+            }
+            self.dst.clear();
+            self.dst.extend_from_slice(&block.src);
+            chain.push(block);
+        }
+        chain.reverse();
+        Ok(chain)
+    }
 }
 
 /// Splits `seeds` into deterministic mini-batches for one epoch: a
@@ -348,6 +462,37 @@ mod tests {
         assert_eq!(
             sampled_src(&g, &[10, 20, 30], Some(3), 55, 1).unwrap(),
             b.src
+        );
+    }
+
+    #[test]
+    fn pooled_sampling_matches_plain() {
+        let g = graph();
+        let seeds: Vec<VertexId> = (0..40).map(|i| i * 11 % 500).collect();
+        let mut pool = BlockPool::new();
+        for round in 0u64..3 {
+            let plain = sample_blocks(&g, &seeds, &[Some(4), Some(3)], 100 + round).unwrap();
+            let pooled = pool
+                .sample_blocks(&g, &seeds, &[Some(4), Some(3)], 100 + round)
+                .unwrap();
+            assert_eq!(pooled, plain, "round {round}");
+            pool.recycle(pooled);
+        }
+    }
+
+    #[test]
+    fn pooled_bad_seed_is_typed() {
+        let g = graph();
+        let mut pool = BlockPool::new();
+        let err = pool
+            .sample_blocks(&g, &[1, 5000], &[Some(2)], 0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::SeedOutOfRange {
+                seed: 5000,
+                num_vertices: 500
+            }
         );
     }
 

@@ -215,6 +215,31 @@ impl PartitionedGraph {
         classes
     }
 
+    /// Per remote vertex of part `d` (aligned with `remote[d]`): how
+    /// many of `d`'s local vertices list it as a neighbour. This is the
+    /// number of local aggregation rows that consume the remote row —
+    /// the sampler-hit-frequency proxy the feature-cache admission score
+    /// multiplies by degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn remote_ref_counts(&self, graph: &CsrGraph, d: usize) -> Vec<u32> {
+        let remotes = &self.remote[d];
+        let mut counts = vec![0u32; remotes.len()];
+        for &v in &self.local[d] {
+            for &u in graph.neighbors(v) {
+                if self.partition[u as usize] as usize != d {
+                    let i = remotes
+                        .binary_search(&u)
+                        .expect("neighbour owned elsewhere must be in the remote set");
+                    counts[i] += 1;
+                }
+            }
+        }
+        counts
+    }
+
     /// Total number of vertex embeddings crossing partitions per layer
     /// (the sum of all `|V_ij|`).
     pub fn total_demand(&self) -> usize {
@@ -418,6 +443,29 @@ mod tests {
             .expect("part 0 has demands");
         assert_eq!(class0.vertices, vec![0, 1]);
         assert_eq!(class0.dsts, vec![1]);
+    }
+
+    #[test]
+    fn remote_ref_counts_count_consuming_local_rows() {
+        let g = fig1_graph();
+        let pg = PartitionedGraph::new(&g, fig1_partition(), 4);
+        // GPU1 remotes are {d=3, f=5, j=9}; each is referenced only by
+        // local vertex a=0.
+        assert_eq!(pg.remote_ref_counts(&g, 0), vec![1, 1, 1]);
+        // Sum over all remotes equals the total cut-edge endpoints seen
+        // from the local side.
+        for d in 0..4 {
+            let counts = pg.remote_ref_counts(&g, d);
+            assert_eq!(counts.len(), pg.remote[d].len());
+            let total: u32 = counts.iter().sum();
+            let cut: u32 = pg.local[d]
+                .iter()
+                .flat_map(|&v| g.neighbors(v))
+                .filter(|&&u| pg.partition[u as usize] as usize != d)
+                .count() as u32;
+            assert_eq!(total, cut, "device {d}");
+            assert!(counts.iter().all(|&c| c >= 1));
+        }
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Offline sizing model for the remote-feature cache (`dgcl::featcache`).
+//!
+//! Layer-0 feature rows are immutable during training, so a per-rank
+//! cache of hot remote rows converts repeated gather traffic into local
+//! reads. The open question is *capacity*: every cached row costs
+//! resident memory forever but only pays back proportionally to how
+//! often the sampler would have re-fetched it. [`CacheModel`] prices
+//! that trade-off offline from the same per-vertex demand statistics the
+//! deterministic admission ranking uses, so every rank derives the same
+//! capacity without negotiation — the same pattern as the collective
+//! autotuner and the backend selector.
+//!
+//! The model is an α–β shape: candidate `i` (descending expected
+//! per-epoch fetch frequency `gains[i]`) saves `gains[i] · row_bytes`
+//! wire bytes per epoch and costs `alpha · row_bytes` of amortised
+//! residency. Net benefit is maximised by admitting exactly the prefix
+//! with `gains[i] > alpha` — capacity selection degenerates to counting,
+//! which is deterministic, monotone in `alpha`, and trivially identical
+//! across ranks.
+
+/// Prices a feature-cache capacity against the volume it saves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheModel {
+    /// Bytes per cached feature row (`4 · width`).
+    pub row_bytes: f64,
+    /// Per candidate row, the expected remote fetches avoided per epoch,
+    /// sorted descending (the admission ranking's order).
+    pub gains: Vec<f64>,
+    /// Residency cost weight α: the fetches-per-epoch a row must save to
+    /// justify staying resident. Larger α shrinks the cache.
+    pub alpha: f64,
+}
+
+impl CacheModel {
+    /// A model over `gains` (any order; sorted internally) with the
+    /// given α and row width in f32 elements.
+    pub fn new(width: usize, mut gains: Vec<f64>, alpha: f64) -> Self {
+        gains.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        Self {
+            row_bytes: (4 * width) as f64,
+            gains,
+            alpha,
+        }
+    }
+
+    /// The net-benefit-maximising capacity: the length of the prefix
+    /// whose per-row gain strictly exceeds α. Deterministic (first
+    /// argmax) and monotone nonincreasing in α.
+    pub fn choose_capacity(&self) -> usize {
+        self.gains.iter().take_while(|&&g| g > self.alpha).count()
+    }
+
+    /// Expected wire bytes one epoch saves at capacity `c`.
+    pub fn bytes_saved_per_epoch(&self, c: usize) -> f64 {
+        let c = c.min(self.gains.len());
+        self.gains[..c].iter().sum::<f64>() * self.row_bytes
+    }
+
+    /// Expected fraction of remote-row fetches served from the cache at
+    /// capacity `c` (0.0 when there is nothing to fetch).
+    pub fn hit_fraction(&self, c: usize) -> f64 {
+        let total: f64 = self.gains.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let c = c.min(self.gains.len());
+        self.gains[..c].iter().sum::<f64>() / total
+    }
+
+    /// Expected remaining gather volume at capacity `c` relative to the
+    /// uncached epoch (1.0 at capacity 0, falling monotonically).
+    pub fn volume_ratio(&self, c: usize) -> f64 {
+        1.0 - self.hit_fraction(c)
+    }
+
+    /// Net benefit (bytes saved minus amortised residency cost) at
+    /// capacity `c` — what [`CacheModel::choose_capacity`] maximises.
+    pub fn net_benefit(&self, c: usize) -> f64 {
+        let c = c.min(self.gains.len());
+        self.bytes_saved_per_epoch(c) - self.alpha * c as f64 * self.row_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CacheModel {
+        CacheModel::new(64, vec![9.0, 5.0, 3.0, 1.0, 0.5, 0.5], 1.0)
+    }
+
+    #[test]
+    fn chosen_capacity_is_the_strict_prefix() {
+        // gains > 1.0 are 9, 5, 3 — exactly three rows pay their way.
+        assert_eq!(model().choose_capacity(), 3);
+    }
+
+    #[test]
+    fn chosen_capacity_maximises_net_benefit() {
+        let m = model();
+        let best = m.choose_capacity();
+        for c in 0..=m.gains.len() {
+            assert!(
+                m.net_benefit(best) >= m.net_benefit(c),
+                "capacity {c} beats the chosen {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn volume_ratio_falls_monotonically_with_capacity() {
+        let m = model();
+        let mut prev = m.volume_ratio(0);
+        assert_eq!(prev, 1.0);
+        for c in 1..=m.gains.len() {
+            let r = m.volume_ratio(c);
+            assert!(r <= prev, "ratio rose at capacity {c}");
+            prev = r;
+        }
+        assert_eq!(prev, 0.0, "full capacity caches every fetch");
+    }
+
+    #[test]
+    fn larger_alpha_never_grows_the_cache() {
+        let gains = vec![9.0, 5.0, 3.0, 1.0];
+        let mut prev = usize::MAX;
+        for alpha in [0.0, 0.5, 2.0, 4.0, 10.0] {
+            let c = CacheModel::new(8, gains.clone(), alpha).choose_capacity();
+            assert!(c <= prev, "alpha {alpha} grew the cache");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn unsorted_gains_are_ranked() {
+        let m = CacheModel::new(8, vec![0.1, 7.0, 2.0], 1.0);
+        assert_eq!(m.gains, vec![7.0, 2.0, 0.1]);
+        assert_eq!(m.choose_capacity(), 2);
+    }
+
+    #[test]
+    fn empty_candidate_set_is_a_zero_cache() {
+        let m = CacheModel::new(8, Vec::new(), 1.0);
+        assert_eq!(m.choose_capacity(), 0);
+        assert_eq!(m.hit_fraction(5), 0.0);
+        assert_eq!(m.bytes_saved_per_epoch(5), 0.0);
+    }
+}

@@ -25,8 +25,11 @@
 //! * [`minibatch`] — cost models for sampled mini-batch training
 //!   (expected block volumes per fanout/batch setting) and batched
 //!   inference serving (flush latency vs sustainable QPS).
+//! * [`cache`] — an α–β sizing model for the hot-vertex remote feature
+//!   cache (hit rate vs capacity vs gather volume saved).
 
 pub mod backends;
+pub mod cache;
 pub mod collectives;
 pub mod compute;
 pub mod epoch;
@@ -40,6 +43,7 @@ pub mod transport;
 pub use backends::{
     cagnet_aggregate_cost, planned_gather_cost, BackendChoice, BackendKind, BackendSelector,
 };
+pub use cache::CacheModel;
 pub use collectives::{
     allreduce_cost, allreduce_costs, broadcast_cost, AlgorithmSelector, AllreduceAlgo,
     BroadcastAlgo,
